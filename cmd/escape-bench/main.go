@@ -1,0 +1,101 @@
+// Command escape-bench regenerates the evaluation tables of
+// EXPERIMENTS.md (E1–E8): workload generation, parameter sweeps,
+// baselines and result tables in one binary.
+//
+// Usage:
+//
+//	escape-bench                 # all experiments, default parameters
+//	escape-bench -e e3,e4        # a subset
+//	escape-bench -e e3 -sizes 10,100,400
+//	escape-bench -quick          # reduced parameters (CI-friendly)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"escape/internal/experiments"
+)
+
+func main() {
+	which := flag.String("e", "all", "comma-separated experiments (e1..e8) or 'all'")
+	sizes := flag.String("sizes", "", "override E3 node counts, comma-separated")
+	quick := flag.Bool("quick", false, "reduced parameter sets")
+	flag.Parse()
+
+	selected := map[string]bool{}
+	if *which == "all" {
+		for i := 1; i <= 8; i++ {
+			selected[fmt.Sprintf("e%d", i)] = true
+		}
+	} else {
+		for _, e := range strings.Split(*which, ",") {
+			selected[strings.TrimSpace(strings.ToLower(e))] = true
+		}
+	}
+
+	e3sizes := []int{10, 50, 100, 200, 400}
+	e4 := [3]int{16, 3, 40}
+	e5 := []int{1, 2, 4, 8}
+	e6pkts := 2000
+	e7 := []int{1, 8, 32, 64}
+	e8 := []int{1, 2, 4, 8}
+	if *quick {
+		e3sizes = []int{10, 50}
+		e4 = [3]int{8, 2, 10}
+		e5 = []int{1, 2}
+		e6pkts = 500
+		e7 = []int{1, 8}
+		e8 = []int{1, 2}
+	}
+	if *sizes != "" {
+		e3sizes = nil
+		for _, s := range strings.Split(*sizes, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				fatal(fmt.Errorf("bad -sizes value %q", s))
+			}
+			e3sizes = append(e3sizes, n)
+		}
+	}
+
+	type exp struct {
+		id  string
+		run func() (*experiments.Table, error)
+	}
+	all := []exp{
+		{"e1", experiments.E1Architecture},
+		{"e2", experiments.E2Demo},
+		{"e3", func() (*experiments.Table, error) { return experiments.E3Scale(e3sizes) }},
+		{"e4", func() (*experiments.Table, error) { return experiments.E4Mapping(e4[0], e4[1], e4[2]) }},
+		{"e5", func() (*experiments.Table, error) { return experiments.E5Steering(e5) }},
+		{"e6", func() (*experiments.Table, error) {
+			return experiments.E6ClickDataPlane([]int{1, 2, 4, 8}, []int{64, 1500}, e6pkts)
+		}},
+		{"e7", func() (*experiments.Table, error) { return experiments.E7NETCONF(e7) }},
+		{"e8", func() (*experiments.Table, error) { return experiments.E8ServiceCreation(e8) }},
+	}
+	ran := 0
+	for _, e := range all {
+		if !selected[e.id] {
+			continue
+		}
+		tbl, err := e.run()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", e.id, err))
+		}
+		tbl.Render(os.Stdout)
+		ran++
+	}
+	if ran == 0 {
+		fatal(fmt.Errorf("no experiments selected (-e %s)", *which))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "escape-bench:", err)
+	os.Exit(1)
+}

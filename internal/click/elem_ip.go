@@ -1,0 +1,362 @@
+package click
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+
+	"escape/internal/pkt"
+)
+
+// Header-manipulation elements.
+
+func init() {
+	RegisterElement("Strip", func() Element { return &Strip{} })
+	RegisterElement("Unstrip", func() Element { return &Unstrip{} })
+	RegisterElement("EtherEncap", func() Element { return &EtherEncap{} })
+	RegisterElement("VLANEncap", func() Element { return &VLANEncap{} })
+	RegisterElement("VLANDecap", func() Element { return &VLANDecap{} })
+	RegisterElement("CheckIPHeader", func() Element { return &CheckIPHeader{} })
+	RegisterElement("DecIPTTL", func() Element { return &DecIPTTL{} })
+	RegisterElement("StoreData", func() Element { return &StoreData{} })
+}
+
+// Strip removes N bytes from the packet front (usually 14 to drop an
+// Ethernet header).
+type Strip struct {
+	Base
+	n int
+}
+
+// Class implements Element.
+func (*Strip) Class() string { return "Strip" }
+
+// Spec implements Element.
+func (*Strip) Spec() PortSpec { return agnostic(1, 1) }
+
+// Configure implements Element.
+func (s *Strip) Configure(r *Router, args []string) error {
+	ca := ParseArgs(args)
+	n, err := ca.PosInt(0, 14)
+	if err != nil {
+		return err
+	}
+	if n < 0 {
+		return fmt.Errorf("Strip length must be non-negative")
+	}
+	s.n = n
+	return nil
+}
+
+// SimpleAction implements the per-packet transform.
+func (s *Strip) SimpleAction(p *Packet) *Packet {
+	if err := p.Strip(s.n); err != nil {
+		return nil // shorter than the strip length: drop
+	}
+	return p
+}
+
+// Unstrip restores N previously stripped front bytes.
+type Unstrip struct {
+	Base
+	n int
+}
+
+// Class implements Element.
+func (*Unstrip) Class() string { return "Unstrip" }
+
+// Spec implements Element.
+func (*Unstrip) Spec() PortSpec { return agnostic(1, 1) }
+
+// Configure implements Element.
+func (u *Unstrip) Configure(r *Router, args []string) error {
+	ca := ParseArgs(args)
+	n, err := ca.PosInt(0, 14)
+	if err != nil {
+		return err
+	}
+	if n < 0 {
+		return fmt.Errorf("Unstrip length must be non-negative")
+	}
+	u.n = n
+	return nil
+}
+
+// SimpleAction implements the per-packet transform.
+func (u *Unstrip) SimpleAction(p *Packet) *Packet {
+	if err := p.Unstrip(u.n); err != nil {
+		return nil
+	}
+	return p
+}
+
+// EtherEncap prepends a fixed Ethernet header.
+//
+// Configuration: EtherEncap(ethertype-hex, src-mac, dst-mac), e.g.
+// EtherEncap(0x0800, 02:00:00:00:00:01, 02:00:00:00:00:02).
+type EtherEncap struct {
+	Base
+	hdr [14]byte
+}
+
+// Class implements Element.
+func (*EtherEncap) Class() string { return "EtherEncap" }
+
+// Spec implements Element.
+func (*EtherEncap) Spec() PortSpec { return agnostic(1, 1) }
+
+// Configure implements Element.
+func (e *EtherEncap) Configure(r *Router, args []string) error {
+	ca := ParseArgs(args)
+	if len(ca.Positional) != 3 {
+		return fmt.Errorf("EtherEncap wants ETHERTYPE, SRC, DST")
+	}
+	etStr := ca.Positional[0]
+	et, err := strconv.ParseUint(etStr, 0, 16)
+	if err != nil {
+		return fmt.Errorf("bad ethertype %q", etStr)
+	}
+	src, err := pkt.ParseMAC(ca.Positional[1])
+	if err != nil {
+		return err
+	}
+	dst, err := pkt.ParseMAC(ca.Positional[2])
+	if err != nil {
+		return err
+	}
+	copy(e.hdr[0:6], dst[:])
+	copy(e.hdr[6:12], src[:])
+	binary.BigEndian.PutUint16(e.hdr[12:14], uint16(et))
+	return nil
+}
+
+// SimpleAction implements the per-packet transform.
+func (e *EtherEncap) SimpleAction(p *Packet) *Packet {
+	p.Prepend(e.hdr[:])
+	return p
+}
+
+// VLANEncap pushes (or rewrites) an 802.1Q tag.
+//
+// Configuration: VLANEncap(VLAN_ID id).
+type VLANEncap struct {
+	Base
+	id uint16
+}
+
+// Class implements Element.
+func (*VLANEncap) Class() string { return "VLANEncap" }
+
+// Spec implements Element.
+func (*VLANEncap) Spec() PortSpec { return agnostic(1, 1) }
+
+// Configure implements Element.
+func (v *VLANEncap) Configure(r *Router, args []string) error {
+	ca := ParseArgs(args)
+	ids := ca.Key("VLAN_ID", ca.Pos(0, ""))
+	if ids == "" {
+		return fmt.Errorf("VLANEncap wants VLAN_ID")
+	}
+	n, err := strconv.Atoi(ids)
+	if err != nil || n < 0 || n > pkt.MaxVLANID {
+		return fmt.Errorf("bad VLAN_ID %q", ids)
+	}
+	v.id = uint16(n)
+	return nil
+}
+
+// SimpleAction implements the per-packet transform.
+func (v *VLANEncap) SimpleAction(p *Packet) *Packet {
+	out, err := pkt.PushVLAN(p.Data(), v.id)
+	if err != nil {
+		return nil
+	}
+	p.SetData(out)
+	return p
+}
+
+// VLANDecap removes the outermost 802.1Q tag (untagged frames pass).
+type VLANDecap struct{ Base }
+
+// Class implements Element.
+func (*VLANDecap) Class() string { return "VLANDecap" }
+
+// Spec implements Element.
+func (*VLANDecap) Spec() PortSpec { return agnostic(1, 1) }
+
+// SimpleAction implements the per-packet transform.
+func (v *VLANDecap) SimpleAction(p *Packet) *Packet {
+	out, err := pkt.PopVLAN(p.Data())
+	if err != nil {
+		return nil
+	}
+	p.SetData(out)
+	return p
+}
+
+// CheckIPHeader verifies the IPv4 header at OFFSET (default 14): version,
+// IHL, total length and checksum. Invalid packets are dropped and counted.
+//
+// Configuration: CheckIPHeader([OFFSET n]). Handlers: drops (r).
+type CheckIPHeader struct {
+	Base
+	offset int
+	drops  uint64
+}
+
+// Class implements Element.
+func (*CheckIPHeader) Class() string { return "CheckIPHeader" }
+
+// Spec implements Element.
+func (*CheckIPHeader) Spec() PortSpec { return agnostic(1, 1) }
+
+// Configure implements Element.
+func (c *CheckIPHeader) Configure(r *Router, args []string) error {
+	ca := ParseArgs(args)
+	off, err := ca.KeyInt("OFFSET", 14)
+	if err != nil {
+		return err
+	}
+	if o, err2 := ca.PosInt(0, off); err2 == nil {
+		off = o
+	}
+	if off < 0 {
+		return fmt.Errorf("OFFSET must be non-negative")
+	}
+	c.offset = off
+	return nil
+}
+
+// SimpleAction implements the per-packet transform.
+func (c *CheckIPHeader) SimpleAction(p *Packet) *Packet {
+	data := p.Data()
+	if len(data) < c.offset+20 {
+		c.drops++
+		return nil
+	}
+	h := data[c.offset:]
+	if h[0]>>4 != 4 {
+		c.drops++
+		return nil
+	}
+	ihl := int(h[0]&0xf) * 4
+	if ihl < 20 || len(h) < ihl {
+		c.drops++
+		return nil
+	}
+	if tot := int(binary.BigEndian.Uint16(h[2:4])); tot < ihl || tot > len(h) {
+		c.drops++
+		return nil
+	}
+	if pkt.Checksum(h[:ihl]) != 0 {
+		c.drops++
+		return nil
+	}
+	return p
+}
+
+// Handlers implements HandlerProvider.
+func (c *CheckIPHeader) Handlers() []Handler {
+	return []Handler{{Name: "drops", Read: func() string { return strconv.FormatUint(c.drops, 10) }}}
+}
+
+// DecIPTTL decrements the IPv4 TTL with incremental checksum update
+// (RFC 1624) and drops packets whose TTL reaches zero.
+//
+// Configuration: DecIPTTL([OFFSET n]). Handlers: expired (r).
+type DecIPTTL struct {
+	Base
+	offset  int
+	expired uint64
+}
+
+// Class implements Element.
+func (*DecIPTTL) Class() string { return "DecIPTTL" }
+
+// Spec implements Element.
+func (*DecIPTTL) Spec() PortSpec { return agnostic(1, 1) }
+
+// Configure implements Element.
+func (d *DecIPTTL) Configure(r *Router, args []string) error {
+	ca := ParseArgs(args)
+	off, err := ca.KeyInt("OFFSET", 14)
+	if err != nil {
+		return err
+	}
+	d.offset = off
+	return nil
+}
+
+// SimpleAction implements the per-packet transform.
+func (d *DecIPTTL) SimpleAction(p *Packet) *Packet {
+	data := p.Data()
+	if len(data) < d.offset+20 {
+		return nil
+	}
+	h := data[d.offset:]
+	if h[8] <= 1 {
+		d.expired++
+		return nil
+	}
+	// RFC 1624 incremental update: HC' = ~(~HC + ~m + m') where the
+	// changed 16-bit field is (TTL<<8|proto).
+	old := binary.BigEndian.Uint16(h[8:10])
+	h[8]--
+	new_ := binary.BigEndian.Uint16(h[8:10])
+	hc := binary.BigEndian.Uint16(h[10:12])
+	sum := uint32(^hc) + uint32(^old) + uint32(new_)
+	for sum > 0xffff {
+		sum = (sum >> 16) + (sum & 0xffff)
+	}
+	binary.BigEndian.PutUint16(h[10:12], ^uint16(sum))
+	return p
+}
+
+// Handlers implements HandlerProvider.
+func (d *DecIPTTL) Handlers() []Handler {
+	return []Handler{{Name: "expired", Read: func() string { return strconv.FormatUint(d.expired, 10) }}}
+}
+
+// StoreData overwrites packet bytes at OFFSET with fixed DATA.
+//
+// Configuration: StoreData(OFFSET, hex-data).
+type StoreData struct {
+	Base
+	offset int
+	data   []byte
+}
+
+// Class implements Element.
+func (*StoreData) Class() string { return "StoreData" }
+
+// Spec implements Element.
+func (*StoreData) Spec() PortSpec { return agnostic(1, 1) }
+
+// Configure implements Element.
+func (s *StoreData) Configure(r *Router, args []string) error {
+	ca := ParseArgs(args)
+	if len(ca.Positional) != 2 {
+		return fmt.Errorf("StoreData wants OFFSET, DATA")
+	}
+	off, err := strconv.Atoi(ca.Positional[0])
+	if err != nil || off < 0 {
+		return fmt.Errorf("bad offset %q", ca.Positional[0])
+	}
+	data, err := hex.DecodeString(ca.Positional[1])
+	if err != nil {
+		return fmt.Errorf("bad hex data %q", ca.Positional[1])
+	}
+	s.offset, s.data = off, data
+	return nil
+}
+
+// SimpleAction implements the per-packet transform.
+func (s *StoreData) SimpleAction(p *Packet) *Packet {
+	data := p.Data()
+	if len(data) < s.offset+len(s.data) {
+		return p // too short: pass unchanged, Click semantics
+	}
+	copy(data[s.offset:], s.data)
+	return p
+}

@@ -1,0 +1,306 @@
+package click
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+)
+
+// Queueing and shaping elements.
+
+func init() {
+	RegisterElement("Queue", func() Element { return &Queue{} })
+	RegisterElement("Unqueue", func() Element { return &Unqueue{} })
+	RegisterElement("RatedUnqueue", func() Element { return &RatedUnqueue{} })
+	RegisterElement("BandwidthShaper", func() Element { return &BandwidthShaper{} })
+}
+
+// Queue stores packets in FIFO order: push input, pull output. Packets
+// pushed into a full queue are dropped (tail drop).
+//
+// Configuration: Queue([CAPACITY]). Handlers: length, capacity (rw),
+// drops, highwater (r), reset_counts (w).
+type Queue struct {
+	Base
+	ring      []*Packet
+	head, n   int
+	capacity  int
+	drops     uint64
+	highwater int
+}
+
+// Class implements Element.
+func (*Queue) Class() string { return "Queue" }
+
+// Spec implements Element.
+func (*Queue) Spec() PortSpec {
+	return PortSpec{NIn: 1, NOut: 1, In: []Processing{Push}, Out: []Processing{Pull}}
+}
+
+// Configure implements Element.
+func (q *Queue) Configure(r *Router, args []string) error {
+	ca := ParseArgs(args)
+	cap_, err := ca.PosInt(0, 1000)
+	if err != nil {
+		return err
+	}
+	if cap_ <= 0 {
+		return fmt.Errorf("capacity must be positive")
+	}
+	q.capacity = cap_
+	q.ring = make([]*Packet, cap_)
+	return nil
+}
+
+// Len reports the number of queued packets.
+func (q *Queue) Len() int { return q.n }
+
+// Push implements Element.
+func (q *Queue) Push(port int, p *Packet) {
+	if q.n == q.capacity {
+		q.drops++
+		return
+	}
+	q.ring[(q.head+q.n)%q.capacity] = p
+	q.n++
+	if q.n > q.highwater {
+		q.highwater = q.n
+	}
+}
+
+// Pull implements Element.
+func (q *Queue) Pull(port int) *Packet {
+	if q.n == 0 {
+		return nil
+	}
+	p := q.ring[q.head]
+	q.ring[q.head] = nil
+	q.head = (q.head + 1) % q.capacity
+	q.n--
+	return p
+}
+
+// Handlers implements HandlerProvider.
+func (q *Queue) Handlers() []Handler {
+	return []Handler{
+		{Name: "length", Read: func() string { return strconv.Itoa(q.n) }},
+		{Name: "capacity", Read: func() string { return strconv.Itoa(q.capacity) },
+			Write: func(v string) error {
+				c, err := strconv.Atoi(v)
+				if err != nil || c <= 0 {
+					return fmt.Errorf("bad capacity %q", v)
+				}
+				// Rebuild ring preserving contents that fit.
+				nr := make([]*Packet, c)
+				keep := q.n
+				if keep > c {
+					keep = c
+				}
+				for i := 0; i < keep; i++ {
+					nr[i] = q.ring[(q.head+i)%q.capacity]
+				}
+				q.ring, q.head, q.n, q.capacity = nr, 0, keep, c
+				return nil
+			}},
+		{Name: "drops", Read: func() string { return strconv.FormatUint(q.drops, 10) }},
+		{Name: "highwater", Read: func() string { return strconv.Itoa(q.highwater) }},
+		{Name: "reset_counts", Write: func(string) error { q.drops, q.highwater = 0, q.n; return nil }},
+	}
+}
+
+// Unqueue actively pulls packets from its input and pushes them downstream,
+// converting a pull path back to a push path.
+//
+// Configuration: Unqueue([BURST n]).
+type Unqueue struct {
+	Base
+	burst int
+	count uint64
+}
+
+// Class implements Element.
+func (*Unqueue) Class() string { return "Unqueue" }
+
+// Spec implements Element.
+func (*Unqueue) Spec() PortSpec {
+	return PortSpec{NIn: 1, NOut: 1, In: []Processing{Pull}, Out: []Processing{Push}}
+}
+
+// Configure implements Element.
+func (u *Unqueue) Configure(r *Router, args []string) error {
+	ca := ParseArgs(args)
+	var err error
+	if u.burst, err = ca.KeyInt("BURST", 32); err != nil {
+		return err
+	}
+	if b, err2 := ca.PosInt(0, u.burst); err2 == nil {
+		u.burst = b
+	}
+	if u.burst <= 0 {
+		return fmt.Errorf("BURST must be positive")
+	}
+	return nil
+}
+
+// RunTask implements Tasker.
+func (u *Unqueue) RunTask() bool {
+	worked := false
+	for i := 0; i < u.burst; i++ {
+		p := u.PullIn(0)
+		if p == nil {
+			return worked
+		}
+		u.count++
+		u.PushOut(0, p)
+		worked = true
+	}
+	return worked
+}
+
+// Handlers implements HandlerProvider.
+func (u *Unqueue) Handlers() []Handler {
+	return []Handler{{Name: "count", Read: func() string { return strconv.FormatUint(u.count, 10) }}}
+}
+
+// RatedUnqueue is Unqueue limited to RATE packets per second.
+//
+// Configuration: RatedUnqueue(RATE). Handlers: rate (rw), count (r).
+type RatedUnqueue struct {
+	Base
+	ratePPS float64
+	tokens  float64
+	last    time.Time
+	count   uint64
+}
+
+// Class implements Element.
+func (*RatedUnqueue) Class() string { return "RatedUnqueue" }
+
+// Spec implements Element.
+func (*RatedUnqueue) Spec() PortSpec {
+	return PortSpec{NIn: 1, NOut: 1, In: []Processing{Pull}, Out: []Processing{Push}}
+}
+
+// Configure implements Element.
+func (u *RatedUnqueue) Configure(r *Router, args []string) error {
+	ca := ParseArgs(args)
+	rate := ca.Key("RATE", ca.Pos(0, "10"))
+	f, err := strconv.ParseFloat(rate, 64)
+	if err != nil || f <= 0 {
+		return fmt.Errorf("bad RATE %q", rate)
+	}
+	u.ratePPS = f
+	return nil
+}
+
+// Init implements Initializer.
+func (u *RatedUnqueue) Init() error {
+	u.last = time.Now()
+	return nil
+}
+
+// RunTask implements Tasker.
+func (u *RatedUnqueue) RunTask() bool {
+	now := time.Now()
+	u.tokens += now.Sub(u.last).Seconds() * u.ratePPS
+	u.last = now
+	if max := u.ratePPS / 10; u.tokens > max && max >= 1 {
+		u.tokens = max
+	}
+	worked := false
+	for u.tokens >= 1 {
+		p := u.PullIn(0)
+		if p == nil {
+			return worked
+		}
+		u.tokens--
+		u.count++
+		u.PushOut(0, p)
+		worked = true
+	}
+	return worked
+}
+
+// Handlers implements HandlerProvider.
+func (u *RatedUnqueue) Handlers() []Handler {
+	return []Handler{
+		{Name: "count", Read: func() string { return strconv.FormatUint(u.count, 10) }},
+		{Name: "rate", Read: func() string { return strconv.FormatFloat(u.ratePPS, 'f', -1, 64) },
+			Write: func(v string) error {
+				f, err := strconv.ParseFloat(v, 64)
+				if err != nil || f <= 0 {
+					return fmt.Errorf("bad rate %q", v)
+				}
+				u.ratePPS = f
+				return nil
+			}},
+	}
+}
+
+// BandwidthShaper sits on a pull path and releases at most RATE bytes per
+// second: a byte-granularity token bucket, Click's BandwidthShaper.
+//
+// Configuration: BandwidthShaper(RATE bytes/s).
+type BandwidthShaper struct {
+	Base
+	rateBps float64 // bytes per second
+	tokens  float64
+	last    time.Time
+	count   uint64
+	bytes   uint64
+}
+
+// Class implements Element.
+func (*BandwidthShaper) Class() string { return "BandwidthShaper" }
+
+// Spec implements Element.
+func (*BandwidthShaper) Spec() PortSpec { return pullPorts(1, 1) }
+
+// Configure implements Element.
+func (s *BandwidthShaper) Configure(r *Router, args []string) error {
+	ca := ParseArgs(args)
+	rate := ca.Key("RATE", ca.Pos(0, "125000"))
+	f, err := strconv.ParseFloat(rate, 64)
+	if err != nil || f <= 0 {
+		return fmt.Errorf("bad RATE %q", rate)
+	}
+	s.rateBps = f
+	return nil
+}
+
+// Init implements Initializer.
+func (s *BandwidthShaper) Init() error {
+	s.last = time.Now()
+	s.tokens = 1500 // allow the first MTU immediately
+	return nil
+}
+
+// Pull implements Element.
+func (s *BandwidthShaper) Pull(port int) *Packet {
+	now := time.Now()
+	s.tokens += now.Sub(s.last).Seconds() * s.rateBps
+	s.last = now
+	if max := s.rateBps / 10; s.tokens > max && max >= 1500 {
+		s.tokens = max
+	}
+	if s.tokens < 1 {
+		return nil
+	}
+	p := s.PullIn(0)
+	if p == nil {
+		return nil
+	}
+	s.tokens -= float64(p.Len())
+	s.count++
+	s.bytes += uint64(p.Len())
+	return p
+}
+
+// Handlers implements HandlerProvider.
+func (s *BandwidthShaper) Handlers() []Handler {
+	return []Handler{
+		{Name: "count", Read: func() string { return strconv.FormatUint(s.count, 10) }},
+		{Name: "byte_count", Read: func() string { return strconv.FormatUint(s.bytes, 10) }},
+		{Name: "rate", Read: func() string { return strconv.FormatFloat(s.rateBps, 'f', -1, 64) }},
+	}
+}

@@ -1,0 +1,31 @@
+package click
+
+import (
+	"escape/internal/pkt"
+)
+
+// FrameFilter reports whether a frame matches a compiled expression.
+type FrameFilter func(frame []byte) bool
+
+// CompileFilter compiles an IPClassifier-style expression ("udp and dst
+// port 53", "src host 10.0.0.1", "-") into a frame predicate. It is the
+// extension hook ESCAPE's catalog elements (Firewall, DPI) use to share
+// the classifier language.
+func CompileFilter(expr string) (FrameFilter, error) {
+	pred, err := compileIPExpr(expr)
+	if err != nil {
+		return nil, err
+	}
+	return func(frame []byte) bool {
+		dec := pkt.Decode(frame)
+		s, _ := pkt.Summarize(frame)
+		ip := dec.IPv4Layer()
+		var sp, dp uint16
+		haveL4 := false
+		if ft, ok := pkt.ExtractFiveTuple(dec); ok {
+			sp, dp = ft.SrcPort, ft.DstPort
+			haveL4 = ft.Proto == pkt.IPProtoTCP || ft.Proto == pkt.IPProtoUDP
+		}
+		return pred(s, ip, sp, dp, haveL4)
+	}, nil
+}

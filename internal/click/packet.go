@@ -1,0 +1,157 @@
+// Package click implements a Click modular router engine in Go: VNFs in
+// ESCAPE are Click element graphs described in the Click configuration
+// language, exactly as in the original system (Kohler et al., TOCS 2000).
+//
+// The engine provides:
+//
+//   - the Element interface with push/pull/agnostic port processing,
+//   - a parser for the Click configuration language subset ESCAPE uses
+//     (declarations, connections, anonymous elements, port specifiers),
+//   - a cooperative task scheduler (single-threaded driver by default, a
+//     goroutine-per-task driver for ablation),
+//   - read/write handlers on every element, and
+//   - a ControlSocket server speaking Click's ClickControl/1.3 protocol so
+//     monitoring tools (ESCAPE's Clicky substitute, internal/mgmt) can poll
+//     live VNFs.
+//
+// A standard element library (Queue, Classifier, Counter, Tee, EtherEncap,
+// CheckIPHeader, …) lives in this package; ESCAPE's VNF-specific elements
+// (HeaderCompressor, Firewall, NAT, …) are registered by internal/catalog
+// through the extensible element registry.
+package click
+
+import (
+	"fmt"
+	"time"
+)
+
+// headroom is reserved in front of new packet buffers so encapsulating
+// elements (EtherEncap, VLANEncap) can usually prepend without copying —
+// the same trick Click's packet class uses.
+const headroom = 32
+
+// Packet is the unit of data flowing between elements. The payload is a
+// full Ethernet frame in wire format (see internal/pkt). Internally a
+// packet owns a buffer with headroom so Strip/Unstrip/Prepend are O(1).
+type Packet struct {
+	buf []byte
+	off int
+	// Timestamp records when the packet entered the router (FromDevice /
+	// source element); SetTimestamp overwrites it.
+	Timestamp time.Time
+	// Paint is Click's paint annotation, set by Paint and read by
+	// PaintSwitch.
+	Paint uint8
+	// Mark is a general-purpose 32-bit annotation (Click's user anno
+	// space, condensed).
+	Mark uint32
+}
+
+// NewPacket wraps a copy of data in a Packet stamped with the current time.
+func NewPacket(data []byte) *Packet {
+	buf := make([]byte, headroom+len(data))
+	copy(buf[headroom:], data)
+	return &Packet{buf: buf, off: headroom, Timestamp: time.Now()}
+}
+
+// Data returns the current frame bytes. The slice aliases packet-owned
+// storage: elements may mutate it in place but must use SetData/Prepend to
+// change its length upward.
+func (p *Packet) Data() []byte { return p.buf[p.off:] }
+
+// Len returns the frame length in bytes.
+func (p *Packet) Len() int { return len(p.buf) - p.off }
+
+// SetData replaces the frame bytes entirely (fresh headroom).
+func (p *Packet) SetData(data []byte) {
+	buf := make([]byte, headroom+len(data))
+	copy(buf[headroom:], data)
+	p.buf = buf
+	p.off = headroom
+}
+
+// Strip removes n bytes from the front of the frame.
+func (p *Packet) Strip(n int) error {
+	if n < 0 || n > p.Len() {
+		return fmt.Errorf("click: strip %d of %d bytes", n, p.Len())
+	}
+	p.off += n
+	return nil
+}
+
+// Unstrip restores n previously stripped bytes (they remain in the buffer
+// until overwritten by Prepend/SetData).
+func (p *Packet) Unstrip(n int) error {
+	if n < 0 || n > p.off {
+		return fmt.Errorf("click: unstrip %d with only %d stripped", n, p.off)
+	}
+	p.off -= n
+	return nil
+}
+
+// Prepend grows the frame by len(b) at the front, copying b in. It reuses
+// headroom when available.
+func (p *Packet) Prepend(b []byte) {
+	if len(b) <= p.off {
+		p.off -= len(b)
+		copy(p.buf[p.off:], b)
+		return
+	}
+	nb := make([]byte, headroom+len(b)+p.Len())
+	copy(nb[headroom:], b)
+	copy(nb[headroom+len(b):], p.Data())
+	p.buf = nb
+	p.off = headroom
+}
+
+// Clone deep-copies the packet (used by Tee). The clone carries its own
+// fresh headroom.
+func (p *Packet) Clone() *Packet {
+	q := NewPacket(p.Data())
+	q.Timestamp = p.Timestamp
+	q.Paint = p.Paint
+	q.Mark = p.Mark
+	return q
+}
+
+// Device is the boundary between a Click graph and the outside world.
+// FromDevice reads frames from a Device, ToDevice writes frames to it.
+// internal/netem VNF container ports implement Device.
+type Device interface {
+	// DeviceName identifies the device inside a VNF ("eth0", "in", …).
+	DeviceName() string
+	// Send transmits a frame out of the VNF.
+	Send(frame []byte) error
+	// Recv returns the channel of frames arriving at the VNF. The channel
+	// is never closed while the device is attached.
+	Recv() <-chan []byte
+}
+
+// ChanDevice is an in-memory Device for tests and stand-alone VNFs.
+type ChanDevice struct {
+	Name string
+	In   chan []byte // frames for the VNF to consume
+	Out  chan []byte // frames the VNF emitted
+}
+
+// NewChanDevice returns a ChanDevice with the given buffer capacity.
+func NewChanDevice(name string, depth int) *ChanDevice {
+	return &ChanDevice{Name: name, In: make(chan []byte, depth), Out: make(chan []byte, depth)}
+}
+
+// DeviceName implements Device.
+func (d *ChanDevice) DeviceName() string { return d.Name }
+
+// Send implements Device. It drops when the out buffer is full rather than
+// blocking the driver (a full NIC ring drops too).
+func (d *ChanDevice) Send(frame []byte) error {
+	select {
+	case d.Out <- frame:
+		return nil
+	default:
+		return ErrDeviceFull
+	}
+}
+
+// Recv implements Device.
+func (d *ChanDevice) Recv() <-chan []byte { return d.In }

@@ -1,0 +1,536 @@
+package click
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// DriverMode selects how scheduler tasks execute.
+type DriverMode int
+
+// Driver modes. SingleThreaded matches Click's userlevel driver: one
+// goroutine runs all tasks round-robin, so element code never races.
+// GoroutinePerTask runs each task in its own goroutine serialized by the
+// router lock; it exists for the E6 scheduling ablation.
+const (
+	SingleThreaded DriverMode = iota
+	GoroutinePerTask
+)
+
+// Options tune router construction.
+type Options struct {
+	// Devices maps device names (FromDevice/ToDevice arguments) to Device
+	// implementations.
+	Devices map[string]Device
+	// Driver selects the scheduling mode; default SingleThreaded.
+	Driver DriverMode
+	// TickInterval is the period for Ticker elements; default 10ms.
+	TickInterval time.Duration
+}
+
+// Router is an instantiated, wired Click element graph: one VNF instance.
+type Router struct {
+	name  string
+	opts  Options
+	elems map[string]Element
+	order []string // declaration order, for deterministic iteration
+	tasks []taskEntry
+
+	mu      sync.Mutex // serializes element code against handler access
+	running bool
+	stopped chan struct{}
+	cancel  context.CancelFunc
+
+	// stats
+	startedAt time.Time
+}
+
+type taskEntry struct {
+	name string
+	t    Tasker
+}
+
+// NewRouter parses, instantiates, configures, wires, validates and
+// initializes a configuration. The router does not process packets until
+// Run.
+func NewRouter(name, config string, opts Options) (*Router, error) {
+	cfg, err := Parse(config)
+	if err != nil {
+		return nil, err
+	}
+	return NewRouterFromConfig(name, cfg, opts)
+}
+
+// NewRouterFromConfig is NewRouter for pre-parsed configurations.
+func NewRouterFromConfig(name string, cfg *Config, opts Options) (*Router, error) {
+	if opts.TickInterval <= 0 {
+		opts.TickInterval = 10 * time.Millisecond
+	}
+	r := &Router{name: name, opts: opts, elems: map[string]Element{}, stopped: make(chan struct{})}
+
+	// Instantiate and configure.
+	for _, d := range cfg.Decls {
+		if _, dup := r.elems[d.Name]; dup {
+			return nil, fmt.Errorf("click: element %q redeclared", d.Name)
+		}
+		e, err := newElement(d.Class)
+		if err != nil {
+			return nil, err
+		}
+		b := e.base()
+		b.name = d.Name
+		b.router = r
+		b.self = e
+		b.config = d.Args
+		if err := e.Configure(r, d.Args); err != nil {
+			return nil, fmt.Errorf("click: %s :: %s: %w", d.Name, d.Class, err)
+		}
+		r.elems[d.Name] = e
+		r.order = append(r.order, d.Name)
+	}
+
+	// Wire connections.
+	for _, c := range cfg.Conns {
+		from, ok := r.elems[c.From]
+		if !ok {
+			return nil, fmt.Errorf("click: connection from undeclared element %q", c.From)
+		}
+		to, ok := r.elems[c.To]
+		if !ok {
+			return nil, fmt.Errorf("click: connection to undeclared element %q", c.To)
+		}
+		fb, tb := from.base(), to.base()
+		fs, ts := from.Spec(), to.Spec()
+		if c.FromPort >= fs.NOut {
+			return nil, fmt.Errorf("click: %s has %d output port(s), config uses [%d]", c.From, fs.NOut, c.FromPort)
+		}
+		if c.ToPort >= ts.NIn {
+			return nil, fmt.Errorf("click: %s has %d input port(s), config uses [%d]", c.To, ts.NIn, c.ToPort)
+		}
+		growOut(fb, fs.NOut)
+		growIn(tb, ts.NIn)
+		if fb.outs[c.FromPort].elem != nil {
+			return nil, fmt.Errorf("click: output %s[%d] connected twice", c.From, c.FromPort)
+		}
+		if tb.ins[c.ToPort].elem != nil {
+			return nil, fmt.Errorf("click: input [%d]%s connected twice", c.ToPort, c.To)
+		}
+		fb.outs[c.FromPort] = outPort{elem: to, port: c.ToPort}
+		tb.ins[c.ToPort] = inPort{elem: from, port: c.FromPort}
+	}
+
+	// Validate: outputs must be connected (a push into nowhere loses
+	// packets; a pull output nobody drains is dead config). Unconnected
+	// inputs are permitted — they simply never receive traffic, and
+	// external injection (InjectPush, tests, traffic tools) targets them.
+	for _, n := range r.order {
+		e := r.elems[n]
+		s := e.Spec()
+		b := e.base()
+		growOut(b, s.NOut)
+		growIn(b, s.NIn)
+		for i := 0; i < s.NOut; i++ {
+			if b.outs[i].elem == nil {
+				return nil, fmt.Errorf("click: output %s[%d] unconnected", n, i)
+			}
+		}
+	}
+	if err := r.resolveProcessing(); err != nil {
+		return nil, err
+	}
+
+	// Gather tasks and run initializers in declaration order.
+	for _, n := range r.order {
+		e := r.elems[n]
+		if t, ok := e.(Tasker); ok {
+			r.tasks = append(r.tasks, taskEntry{name: n, t: t})
+		}
+	}
+	for _, n := range r.order {
+		if ini, ok := r.elems[n].(Initializer); ok {
+			if err := ini.Init(); err != nil {
+				return nil, fmt.Errorf("click: initializing %s: %w", n, err)
+			}
+		}
+	}
+	return r, nil
+}
+
+// resolveProcessing performs Click's push/pull negotiation: fixed port
+// disciplines propagate across connections and through agnostic elements
+// (input i tied to output i) until fixpoint; conflicts are configuration
+// errors; anything still undecided defaults to push.
+func (r *Router) resolveProcessing() error {
+	// Initialize per-port processing from specs.
+	for _, n := range r.order {
+		e := r.elems[n]
+		b := e.base()
+		s := e.Spec()
+		b.inProc = make([]Processing, len(b.ins))
+		for i := range b.inProc {
+			b.inProc[i] = s.in(i)
+		}
+		b.outProc = make([]Processing, len(b.outs))
+		for i := range b.outProc {
+			b.outProc[i] = s.out(i)
+		}
+	}
+	for pass := 0; ; pass++ {
+		if pass > 10000 {
+			return fmt.Errorf("click: processing resolution did not converge")
+		}
+		changed := false
+		for _, n := range r.order {
+			e := r.elems[n]
+			b := e.base()
+			s := e.Spec()
+			// Propagate across connections (output side drives).
+			for i, out := range b.outs {
+				if out.elem == nil {
+					continue
+				}
+				pb := out.elem.base()
+				a, bb := b.outProc[i], pb.inProc[out.port]
+				switch {
+				case a == Agnostic && bb != Agnostic:
+					b.outProc[i] = bb
+					changed = true
+				case bb == Agnostic && a != Agnostic:
+					pb.inProc[out.port] = a
+					changed = true
+				case a != Agnostic && bb != Agnostic && a != bb:
+					return fmt.Errorf("click: %s[%d] (%s) connected to [%d]%s (%s): push/pull conflict",
+						n, i, a, out.port, pb.name, bb)
+				}
+			}
+			// Tie agnostic input i to output i within the element.
+			for i := 0; i < len(b.inProc) && i < len(b.outProc); i++ {
+				if s.in(i) != Agnostic || s.out(i) != Agnostic {
+					continue
+				}
+				a, bb := b.inProc[i], b.outProc[i]
+				switch {
+				case a == Agnostic && bb != Agnostic:
+					b.inProc[i] = bb
+					changed = true
+				case bb == Agnostic && a != Agnostic:
+					b.outProc[i] = a
+					changed = true
+				case a != Agnostic && bb != Agnostic && a != bb:
+					return fmt.Errorf("click: element %s is agnostic but input %d resolves %s while output %d resolves %s",
+						n, i, a, i, bb)
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	// Default undecided ports to push.
+	for _, n := range r.order {
+		b := r.elems[n].base()
+		for i := range b.inProc {
+			if b.inProc[i] == Agnostic {
+				b.inProc[i] = Push
+			}
+		}
+		for i := range b.outProc {
+			if b.outProc[i] == Agnostic {
+				b.outProc[i] = Push
+			}
+		}
+	}
+	return nil
+}
+
+func growOut(b *Base, n int) {
+	for len(b.outs) < n {
+		b.outs = append(b.outs, outPort{})
+	}
+}
+
+func growIn(b *Base, n int) {
+	for len(b.ins) < n {
+		b.ins = append(b.ins, inPort{})
+	}
+}
+
+// Name returns the router (VNF instance) name.
+func (r *Router) Name() string { return r.name }
+
+// Element returns a named element, or nil.
+func (r *Router) Element(name string) Element { return r.elems[name] }
+
+// ElementNames returns declaration-ordered element names.
+func (r *Router) ElementNames() []string { return append([]string(nil), r.order...) }
+
+// Device resolves a device name from Options.
+func (r *Router) Device(name string) (Device, bool) {
+	d, ok := r.opts.Devices[name]
+	return d, ok
+}
+
+// Run drives the router until ctx is cancelled. It blocks; use a goroutine.
+// The driver executes scheduler tasks (sources, Unqueues, FromDevices) and
+// periodic ticks. Push processing happens synchronously inside task runs.
+func (r *Router) Run(ctx context.Context) {
+	r.mu.Lock()
+	if r.running {
+		r.mu.Unlock()
+		return
+	}
+	r.running = true
+	r.startedAt = time.Now()
+	ctx, r.cancel = context.WithCancel(ctx)
+	r.mu.Unlock()
+
+	defer func() {
+		r.mu.Lock()
+		for _, n := range r.order {
+			if c, ok := r.elems[n].(Closer); ok {
+				c.Close()
+			}
+		}
+		r.running = false
+		r.mu.Unlock()
+		close(r.stopped)
+	}()
+
+	switch r.opts.Driver {
+	case GoroutinePerTask:
+		r.runGoroutinePerTask(ctx)
+	default:
+		r.runSingleThreaded(ctx)
+	}
+}
+
+func (r *Router) runSingleThreaded(ctx context.Context) {
+	ticker := time.NewTicker(r.opts.TickInterval)
+	defer ticker.Stop()
+	idleSpins := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case now := <-ticker.C:
+			r.mu.Lock()
+			r.tick(now)
+			r.mu.Unlock()
+		default:
+		}
+		worked := false
+		r.mu.Lock()
+		for _, te := range r.tasks {
+			if te.t.RunTask() {
+				worked = true
+			}
+		}
+		r.mu.Unlock()
+		if worked {
+			idleSpins = 0
+			continue
+		}
+		// Idle backoff: spin a few times, then sleep briefly so an idle
+		// VNF costs ~nothing.
+		idleSpins++
+		if idleSpins > 16 {
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(200 * time.Microsecond):
+			}
+		}
+	}
+}
+
+func (r *Router) runGoroutinePerTask(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, te := range r.tasks {
+		wg.Add(1)
+		go func(te taskEntry) {
+			defer wg.Done()
+			idleSpins := 0
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				default:
+				}
+				r.mu.Lock()
+				worked := te.t.RunTask()
+				r.mu.Unlock()
+				if worked {
+					idleSpins = 0
+					continue
+				}
+				idleSpins++
+				if idleSpins > 16 {
+					select {
+					case <-ctx.Done():
+						return
+					case <-time.After(200 * time.Microsecond):
+					}
+				}
+			}
+		}(te)
+	}
+	ticker := time.NewTicker(r.opts.TickInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			wg.Wait()
+			return
+		case now := <-ticker.C:
+			r.mu.Lock()
+			r.tick(now)
+			r.mu.Unlock()
+		}
+	}
+}
+
+// Ticker elements receive periodic time callbacks (rate estimators).
+type Ticker interface {
+	Tick(now time.Time)
+}
+
+func (r *Router) tick(now time.Time) {
+	for _, n := range r.order {
+		if tk, ok := r.elems[n].(Ticker); ok {
+			tk.Tick(now)
+		}
+	}
+}
+
+// Stop cancels a running router and waits for the driver to exit.
+func (r *Router) Stop() {
+	r.mu.Lock()
+	cancel := r.cancel
+	running := r.running
+	r.mu.Unlock()
+	if cancel == nil || !running {
+		return
+	}
+	cancel()
+	<-r.stopped
+}
+
+// Uptime reports time since Run, zero when never started.
+func (r *Router) Uptime() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.startedAt.IsZero() {
+		return 0
+	}
+	return time.Since(r.startedAt)
+}
+
+// --- Handlers ---
+
+// HandlerNames lists "element.handler" strings for every handler on every
+// element, sorted. Router-level handlers appear without an element prefix.
+func (r *Router) HandlerNames() []string {
+	var out []string
+	for _, n := range r.order {
+		for _, h := range r.elementHandlers(r.elems[n]) {
+			out = append(out, n+"."+h.Name)
+		}
+	}
+	out = append(out, "config", "list", "version")
+	sort.Strings(out)
+	return out
+}
+
+func (r *Router) elementHandlers(e Element) []Handler {
+	b := e.base()
+	hs := []Handler{
+		{Name: "class", Read: func() string { return e.Class() }},
+		{Name: "config", Read: func() string { return b.ConfigString() }},
+		{Name: "name", Read: func() string { return b.name }},
+	}
+	if hp, ok := e.(HandlerProvider); ok {
+		hs = append(hs, hp.Handlers()...)
+	}
+	return hs
+}
+
+func (r *Router) findHandler(spec string) (Handler, error) {
+	dot := strings.LastIndex(spec, ".")
+	if dot < 0 {
+		// Router-global handlers.
+		switch spec {
+		case "list":
+			return Handler{Name: "list", Read: func() string {
+				var sb strings.Builder
+				fmt.Fprintf(&sb, "%d\n", len(r.order))
+				for _, n := range r.order {
+					sb.WriteString(n)
+					sb.WriteByte('\n')
+				}
+				return sb.String()
+			}}, nil
+		case "version":
+			return Handler{Name: "version", Read: func() string { return "escape-click-1.0" }}, nil
+		case "config":
+			return Handler{Name: "config", Read: func() string { return r.name }}, nil
+		}
+		return Handler{}, fmt.Errorf("click: no router handler %q", spec)
+	}
+	elemName, hName := spec[:dot], spec[dot+1:]
+	e, ok := r.elems[elemName]
+	if !ok {
+		return Handler{}, fmt.Errorf("click: no element %q", elemName)
+	}
+	for _, h := range r.elementHandlers(e) {
+		if h.Name == hName {
+			return h, nil
+		}
+	}
+	return Handler{}, fmt.Errorf("click: element %q has no handler %q", elemName, hName)
+}
+
+// ReadHandler invokes a read handler ("counter.count"). Safe to call
+// concurrently with a running driver.
+func (r *Router) ReadHandler(spec string) (string, error) {
+	h, err := r.findHandler(spec)
+	if err != nil {
+		return "", err
+	}
+	if h.Read == nil {
+		return "", fmt.Errorf("click: handler %q is not readable", spec)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return h.Read(), nil
+}
+
+// WriteHandler invokes a write handler ("queue.reset", "source.rate 500").
+func (r *Router) WriteHandler(spec, value string) error {
+	h, err := r.findHandler(spec)
+	if err != nil {
+		return err
+	}
+	if h.Write == nil {
+		return fmt.Errorf("click: handler %q is not writable", spec)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return h.Write(value)
+}
+
+// InjectPush pushes a packet into a named element's input port from outside
+// the driver (tests, traffic tools). It serializes with the driver.
+func (r *Router) InjectPush(elem string, port int, p *Packet) error {
+	e, ok := r.elems[elem]
+	if !ok {
+		return fmt.Errorf("click: no element %q", elem)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e.Push(port, p)
+	return nil
+}

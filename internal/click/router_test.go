@@ -1,0 +1,377 @@
+package click
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// pushN injects n 64-byte packets into elem input 0.
+func pushN(t *testing.T, r *Router, elem string, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if err := r.InjectPush(elem, 0, NewPacket(make([]byte, 64))); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func readUint(t *testing.T, r *Router, spec string) string {
+	t.Helper()
+	v, err := r.ReadHandler(spec)
+	if err != nil {
+		t.Fatalf("ReadHandler(%s): %v", spec, err)
+	}
+	return v
+}
+
+func TestRouterBuildErrors(t *testing.T) {
+	cases := []struct {
+		src, wantSub string
+	}{
+		{"x :: NoSuchClass;", "unknown element class"},
+		{"c :: Counter;", "unconnected"},
+		{"s :: InfiniteSource; d :: Discard; s -> d; s -> d;", "connected twice"},
+		{"s :: InfiniteSource; q :: Queue; s -> q[0]; q -> Discard; Idle -> q;", "connected twice"},
+		{"s :: InfiniteSource; d :: Discard; s[3] -> d;", "output port"},
+		{"q :: Queue(0); InfiniteSource -> q -> Unqueue -> Discard;", "capacity"},
+		// push output directly into pull input
+		{"s :: InfiniteSource; u :: Unqueue; s -> u; u -> Discard;", "push/pull conflict"},
+	}
+	for _, c := range cases {
+		_, err := NewRouter("t", c.src, Options{})
+		if err == nil {
+			t.Errorf("NewRouter(%q) succeeded, want error ~%q", c.src, c.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("NewRouter(%q) error = %q, want substring %q", c.src, err, c.wantSub)
+		}
+	}
+}
+
+func TestPushChainCounts(t *testing.T) {
+	r, err := NewRouter("t", `
+		in :: Counter;
+		mid :: Counter;
+		out :: Discard;
+		in -> mid -> out;
+	`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pushN(t, r, "in", 10)
+	if v := readUint(t, r, "in.count"); v != "10" {
+		t.Errorf("in.count = %s", v)
+	}
+	if v := readUint(t, r, "mid.count"); v != "10" {
+		t.Errorf("mid.count = %s", v)
+	}
+	if v := readUint(t, r, "out.count"); v != "10" {
+		t.Errorf("out.count = %s", v)
+	}
+	if v := readUint(t, r, "in.byte_count"); v != "640" {
+		t.Errorf("in.byte_count = %s", v)
+	}
+}
+
+func TestQueueDropsAndLength(t *testing.T) {
+	r, err := NewRouter("t", `
+		q :: Queue(5);
+		c :: Counter;
+		c -> q -> Unqueue -> Discard;
+	`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pushN(t, r, "c", 8) // driver not running: queue fills to 5, drops 3
+	if v := readUint(t, r, "q.length"); v != "5" {
+		t.Errorf("q.length = %s", v)
+	}
+	if v := readUint(t, r, "q.drops"); v != "3" {
+		t.Errorf("q.drops = %s", v)
+	}
+	if v := readUint(t, r, "q.highwater"); v != "5" {
+		t.Errorf("q.highwater = %s", v)
+	}
+}
+
+func TestDriverDrainsQueue(t *testing.T) {
+	r, err := NewRouter("t", `
+		q :: Queue(100);
+		sink :: Counter;
+		q -> Unqueue -> sink -> Discard;
+	`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go r.Run(ctx)
+	pushN(t, r, "q", 50)
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if readUint(t, r, "sink.count") == "50" {
+			r.Stop()
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("sink.count = %s after 2s, want 50", readUint(t, r, "sink.count"))
+}
+
+func TestInfiniteSourceLimit(t *testing.T) {
+	r, err := NewRouter("t", `
+		src :: InfiniteSource(LIMIT 100, BURST 7);
+		c :: Counter;
+		src -> c -> Discard;
+	`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go r.Run(ctx)
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if readUint(t, r, "c.count") == "100" {
+			r.Stop()
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("c.count = %s, want 100", readUint(t, r, "c.count"))
+}
+
+func TestRatedSourceApproximatesRate(t *testing.T) {
+	r, err := NewRouter("t", `
+		src :: RatedSource(RATE 2000, LENGTH 100);
+		c :: Counter;
+		src -> c -> Discard;
+	`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go r.Run(ctx)
+	time.Sleep(500 * time.Millisecond)
+	r.Stop()
+	v := readUint(t, r, "c.count")
+	var n int
+	if _, err := parseInt(v, &n); err != nil {
+		t.Fatalf("count = %q", v)
+	}
+	// 2000 pps for 0.5 s ≈ 1000 packets; accept a wide band (CI jitter).
+	if n < 500 || n > 1500 {
+		t.Errorf("count = %d, want ≈1000", n)
+	}
+}
+
+func parseInt(s string, out *int) (int, error) {
+	var n int
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return 0, &ParseError{Msg: "not a number: " + s}
+		}
+		n = n*10 + int(r-'0')
+	}
+	*out = n
+	return n, nil
+}
+
+func TestGoroutinePerTaskDriver(t *testing.T) {
+	r, err := NewRouter("t", `
+		src :: InfiniteSource(LIMIT 200);
+		q :: Queue(500);
+		c :: Counter;
+		src -> q;
+		q -> Unqueue -> c -> Discard;
+	`, Options{Driver: GoroutinePerTask})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go r.Run(ctx)
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if readUint(t, r, "c.count") == "200" {
+			r.Stop()
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("c.count = %s, want 200", readUint(t, r, "c.count"))
+}
+
+func TestFromDeviceToDevice(t *testing.T) {
+	in := NewChanDevice("eth0", 64)
+	out := NewChanDevice("eth1", 64)
+	r, err := NewRouter("vnf", `
+		FromDevice(eth0) -> cnt :: Counter -> ToDevice(eth1);
+	`, Options{Devices: map[string]Device{"eth0": in, "eth1": out}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go r.Run(ctx)
+	for i := 0; i < 5; i++ {
+		in.In <- make([]byte, 60)
+	}
+	for i := 0; i < 5; i++ {
+		select {
+		case f := <-out.Out:
+			if len(f) != 60 {
+				t.Errorf("frame %d len = %d", i, len(f))
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("timed out waiting for frame %d", i)
+		}
+	}
+	r.Stop()
+	if v := readUint(t, r, "cnt.count"); v != "5" {
+		t.Errorf("cnt.count = %s", v)
+	}
+}
+
+func TestToDevicePullMode(t *testing.T) {
+	in := NewChanDevice("eth0", 64)
+	out := NewChanDevice("eth1", 64)
+	r, err := NewRouter("vnf", `
+		FromDevice(eth0) -> Queue(32) -> ToDevice(eth1);
+	`, Options{Devices: map[string]Device{"eth0": in, "eth1": out}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go r.Run(ctx)
+	defer r.Stop()
+	in.In <- make([]byte, 42)
+	select {
+	case f := <-out.Out:
+		if len(f) != 42 {
+			t.Errorf("frame len = %d", len(f))
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("queue->todevice did not forward")
+	}
+}
+
+func TestFromDeviceMissingDevice(t *testing.T) {
+	_, err := NewRouter("vnf", `FromDevice(nope) -> Discard;`, Options{})
+	if err == nil || !strings.Contains(err.Error(), "not attached") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestHandlerErrors(t *testing.T) {
+	r, err := NewRouter("t", `c :: Counter; c -> Discard;`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadHandler("nosuch.count"); err == nil {
+		t.Error("read of missing element succeeded")
+	}
+	if _, err := r.ReadHandler("c.nosuch"); err == nil {
+		t.Error("read of missing handler succeeded")
+	}
+	if err := r.WriteHandler("c.count", "5"); err == nil {
+		t.Error("write to read-only handler succeeded")
+	}
+	if _, err := r.ReadHandler("c.reset"); err == nil {
+		t.Error("read of write-only handler succeeded")
+	}
+}
+
+func TestBuiltinHandlers(t *testing.T) {
+	r, err := NewRouter("t", `c :: Counter; c -> Discard;`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := readUint(t, r, "c.class"); v != "Counter" {
+		t.Errorf("class = %s", v)
+	}
+	if v := readUint(t, r, "c.name"); v != "c" {
+		t.Errorf("name = %s", v)
+	}
+	list, err := r.ReadHandler("list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(list, "c\n") {
+		t.Errorf("list = %q", list)
+	}
+	if _, err := r.ReadHandler("version"); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCounterRateTick(t *testing.T) {
+	r, err := NewRouter("t", `c :: Counter; c -> Discard;`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pushN(t, r, "c", 100)
+	now := time.Now()
+	r.tick(now)
+	pushN(t, r, "c", 100)
+	r.tick(now.Add(100 * time.Millisecond)) // 100 pkts / 0.1s = 1000 pps inst
+	v := readUint(t, r, "c.rate")
+	if !strings.HasPrefix(v, "5") { // EWMA 0.5*0 + 0.5*1000 = 500
+		t.Errorf("rate = %s, want ≈500", v)
+	}
+}
+
+func TestWriteHandlerChangesRate(t *testing.T) {
+	r, err := NewRouter("t", `src :: RatedSource(RATE 10); src -> Discard;`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteHandler("src.rate", "9999"); err != nil {
+		t.Fatal(err)
+	}
+	if v := readUint(t, r, "src.rate"); v != "9999" {
+		t.Errorf("rate = %s", v)
+	}
+	if err := r.WriteHandler("src.rate", "-3"); err == nil {
+		t.Error("negative rate accepted")
+	}
+}
+
+func TestRouterStopIdempotent(t *testing.T) {
+	r, err := NewRouter("t", `InfiniteSource(LIMIT 1) -> Discard;`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go r.Run(context.Background())
+	time.Sleep(10 * time.Millisecond)
+	r.Stop()
+	r.Stop() // second stop must not hang or panic
+}
+
+func TestElementClassesSorted(t *testing.T) {
+	classes := ElementClasses()
+	if len(classes) < 20 {
+		t.Fatalf("only %d element classes registered", len(classes))
+	}
+	for i := 1; i < len(classes); i++ {
+		if classes[i-1] >= classes[i] {
+			t.Fatalf("classes not sorted/unique at %d: %s >= %s", i, classes[i-1], classes[i])
+		}
+	}
+	for _, want := range []string{"Queue", "Counter", "Classifier", "FromDevice", "ToDevice"} {
+		found := false
+		for _, c := range classes {
+			if c == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("class %s not registered", want)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"escape/internal/netem"
+	"escape/internal/sg"
+)
+
+// Failure injection: the orchestrator must fail cleanly (no leaked flow
+// rules, no leaked reservations, no half-started VNFs) when collaborators
+// break mid-deployment.
+
+func TestDeployFailsCleanlyWhenAgentDown(t *testing.T) {
+	env := startEnv(t, demoSpec())
+	// Kill one agent before deploying; the mapper may pick its EE.
+	env.Agents["ee1"].Close()
+	env.Agents["ee2"].Close()
+	g := sapGraph("agentless", "monitor")
+	if _, err := env.Orch.Deploy(g); err == nil {
+		t.Fatal("deploy succeeded with all agents down")
+	}
+	// Resources must be fully released after the failed deploy.
+	if env.Steering.ActivePaths() != 0 {
+		t.Error("steering paths leaked")
+	}
+	g2 := sapGraph("agentless", "monitor")
+	if _, err := env.Orch.Deploy(g2); err == nil {
+		t.Error("second deploy unexpectedly succeeded")
+	}
+	// View reservations released: a mapper dry run sees full capacity.
+	m, err := env.Orch.Mapper().Map(sapGraph("dry", "monitor"), env.View)
+	if err != nil {
+		t.Fatalf("capacity leaked into view: %v", err)
+	}
+	_ = m
+}
+
+func TestDeployFailsCleanlyOnUnknownAgentAddress(t *testing.T) {
+	env := startEnv(t, demoSpec())
+	// Remove the management binding for both EEs.
+	orch, err := New(Config{
+		Controller: env.Ctrl,
+		Steering:   env.Steering,
+		Catalog:    env.Catalog,
+		View:       env.View,
+		Agents:     map[string]string{}, // no control network
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := orch.Deploy(sapGraph("noaddr", "monitor")); err == nil ||
+		!strings.Contains(err.Error(), "management address") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestDeployRollsBackStartedVNFs(t *testing.T) {
+	// ee2 has capacity in the resource view but its EE actually refuses
+	// the VNF (view/infrastructure mismatch): earlier VNFs that already
+	// started on ee1 must be stopped by the rollback.
+	spec := demoSpec()
+	env := startEnv(t, spec)
+	// Exhaust ee2's real capacity behind the orchestrator's back
+	// (demoSpec EEs have 4 CPU each).
+	ee2 := env.Net.Node("ee2").(*netem.EE)
+	if _, err := ee2.InitVNF(netem.VNFSpec{Name: "squatter", ClickConfig: "Idle -> Discard;", CPU: 3.9, Mem: 2000}); err != nil {
+		t.Fatal(err)
+	}
+	// Force a placement that needs both EEs: two NFs, each too big for
+	// one EE to host both.
+	g := sapGraph("rollback", "monitor", "monitor")
+	for _, nf := range g.NFs {
+		nf.CPU = 2.5 // 2×2.5 > 4 per EE → one NF per EE
+	}
+	if _, err := env.Orch.Deploy(g); err == nil {
+		t.Fatal("deploy succeeded despite infrastructure refusal")
+	}
+	// ee1 must have no running VNFs left.
+	ee1 := env.Net.Node("ee1").(*netem.EE)
+	for _, name := range ee1.VNFNames() {
+		if v := ee1.VNF(name); v.State == netem.VNFRunning {
+			t.Errorf("VNF %s still running after rollback", name)
+		}
+	}
+	if env.Steering.ActivePaths() != 0 {
+		t.Error("steering paths leaked")
+	}
+}
+
+func TestUndeployIsIdempotentPerService(t *testing.T) {
+	env := startEnv(t, demoSpec())
+	if _, err := env.Orch.Deploy(sapGraph("once", "monitor")); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.Orch.Undeploy("once"); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.Orch.Undeploy("once"); err == nil {
+		t.Error("second undeploy succeeded")
+	}
+	// The name is reusable after teardown.
+	if _, err := env.Orch.Deploy(sapGraph("once", "monitor")); err != nil {
+		t.Errorf("redeploy after undeploy failed: %v", err)
+	}
+}
+
+func TestConcurrentDeploys(t *testing.T) {
+	spec := demoSpec()
+	spec.EEs = map[string]EESpec{
+		"ee1": {Switch: "s1", CPU: 16, Mem: 16384},
+		"ee2": {Switch: "s2", CPU: 16, Mem: 16384},
+	}
+	env := startEnv(t, spec)
+	const n = 6
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		i := i
+		go func() {
+			g := sapGraph(strings.Repeat("x", i+1), "monitor")
+			_, err := env.Orch.Deploy(g)
+			errs <- err
+		}()
+	}
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil {
+			t.Errorf("concurrent deploy: %v", err)
+		}
+	}
+	if got := len(env.Orch.Services()); got != n {
+		t.Errorf("services = %d, want %d", got, n)
+	}
+	// All down again.
+	for _, name := range env.Orch.Services() {
+		if err := env.Orch.Undeploy(name); err != nil {
+			t.Error(err)
+		}
+	}
+	if env.Steering.ActivePaths() != 0 {
+		t.Errorf("paths left: %d", env.Steering.ActivePaths())
+	}
+}
+
+func TestDeployAfterSwitchDisconnect(t *testing.T) {
+	env := startEnv(t, demoSpec())
+	// Stop s2's datapath: its control channel dies.
+	env.Net.Node("s2").(*netem.SwitchNode).Close()
+	// Deploys needing s2 must fail at steering, cleanly.
+	g := sapGraph("dead-switch", "monitor")
+	if _, err := env.Orch.Deploy(g); err == nil {
+		t.Fatal("deploy across a dead switch succeeded")
+	}
+	if env.Steering.ActivePaths() != 0 {
+		t.Error("steering paths leaked")
+	}
+}
+
+func TestMapperSwapUnderLoad(t *testing.T) {
+	env := startEnv(t, demoSpec())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 20; i++ {
+			env.Orch.SetMapper(&GreedyMapper{Catalog: env.Catalog})
+			env.Orch.SetMapper(&KSPMapper{Catalog: env.Catalog})
+		}
+	}()
+	for i := 0; i < 5; i++ {
+		name := sg.NewChainGraph("swap", "monitor").Name + strings.Repeat("i", i)
+		g := sapGraph(name, "monitor")
+		if _, err := env.Orch.Deploy(g); err != nil {
+			t.Fatalf("deploy %d during mapper swaps: %v", i, err)
+		}
+	}
+	<-done
+}

@@ -1,0 +1,383 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"escape/internal/catalog"
+	"escape/internal/openflow"
+	"escape/internal/pox"
+	"escape/internal/sg"
+	"escape/internal/steering"
+	"escape/internal/vnfagent"
+)
+
+// Config wires an Orchestrator to its collaborators.
+type Config struct {
+	// Controller provides switch connections for steering.
+	Controller *pox.Controller
+	// Steering installs chain paths (created by the caller so examples
+	// can pick the mode).
+	Steering *steering.Steering
+	// Catalog resolves NF types.
+	Catalog *catalog.Catalog
+	// View is the global resource view.
+	View *ResourceView
+	// Agents maps EE names to their NETCONF management addresses (the
+	// dedicated control network of the paper).
+	Agents map[string]string
+	// Mapper selects the mapping algorithm (default KSPMapper).
+	Mapper Mapper
+}
+
+// Orchestrator is the orchestration layer: Deploy maps a service graph
+// and realizes it; Undeploy tears it down.
+type Orchestrator struct {
+	cfg Config
+
+	mu       sync.Mutex
+	agents   map[string]*vnfagent.Client
+	services map[string]*Service
+}
+
+// New creates an orchestrator.
+func New(cfg Config) (*Orchestrator, error) {
+	if cfg.Controller == nil || cfg.Steering == nil || cfg.View == nil {
+		return nil, fmt.Errorf("core: config needs Controller, Steering and View")
+	}
+	if cfg.Catalog == nil {
+		cfg.Catalog = catalog.Default()
+	}
+	if cfg.Mapper == nil {
+		cfg.Mapper = &KSPMapper{Catalog: cfg.Catalog}
+	}
+	return &Orchestrator{
+		cfg:      cfg,
+		agents:   map[string]*vnfagent.Client{},
+		services: map[string]*Service{},
+	}, nil
+}
+
+// Mapper returns the active mapping algorithm.
+func (o *Orchestrator) Mapper() Mapper { return o.cfg.Mapper }
+
+// SetMapper swaps the mapping algorithm (the extensibility headline).
+func (o *Orchestrator) SetMapper(m Mapper) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.cfg.Mapper = m
+}
+
+// agent returns a cached NETCONF client for an EE.
+func (o *Orchestrator) agent(ee string) (*vnfagent.Client, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if c, ok := o.agents[ee]; ok {
+		return c, nil
+	}
+	addr, ok := o.cfg.Agents[ee]
+	if !ok {
+		return nil, fmt.Errorf("core: no management address for EE %q", ee)
+	}
+	c, err := vnfagent.DialClient(addr)
+	if err != nil {
+		return nil, fmt.Errorf("core: connecting to agent of %q: %w", ee, err)
+	}
+	o.agents[ee] = c
+	return c, nil
+}
+
+// DeployedNF records one realized NF.
+type DeployedNF struct {
+	NF      *sg.NF
+	EE      string
+	VNFID   string
+	Control string            // ClickControl address for monitoring
+	SwPorts map[string]uint16 // device name → switch port on the EE's switch
+}
+
+// Service is a running, steered service chain set.
+type Service struct {
+	Name    string
+	Graph   *sg.Graph
+	Mapping *Mapping
+	NFs     map[string]*DeployedNF
+	// PhaseDurations records per-phase deployment wall time (E8's
+	// breakdown): "map", "vnf-setup", "steering".
+	PhaseDurations map[string]time.Duration
+	paths          []string // installed steering path ids
+}
+
+// Deploy maps and realizes a service graph: the on-demand service
+// creation workflow of the demo (steps 3 of the paper's walkthrough).
+func (o *Orchestrator) Deploy(g *sg.Graph) (*Service, error) {
+	o.mu.Lock()
+	if _, dup := o.services[g.Name]; dup {
+		o.mu.Unlock()
+		return nil, fmt.Errorf("core: service %q already deployed", g.Name)
+	}
+	o.mu.Unlock()
+
+	svc := &Service{
+		Name:           g.Name,
+		Graph:          g,
+		NFs:            map[string]*DeployedNF{},
+		PhaseDurations: map[string]time.Duration{},
+	}
+
+	// Phase 1: mapping.
+	t0 := time.Now()
+	mapping, err := o.cfg.Mapper.Map(g, o.cfg.View)
+	if err != nil {
+		return nil, fmt.Errorf("core: mapping %q with %s: %w", g.Name, o.cfg.Mapper.MapperName(), err)
+	}
+	svc.Mapping = mapping
+	o.cfg.View.Commit(mapping)
+	svc.PhaseDurations["map"] = time.Since(t0)
+
+	fail := func(err error) (*Service, error) {
+		o.teardown(svc)
+		return nil, err
+	}
+
+	// Phase 2: VNF lifecycle over NETCONF (initiate → connect → start).
+	t1 := time.Now()
+	nfIDs := make([]string, 0, len(mapping.Placements))
+	for id := range mapping.Placements {
+		nfIDs = append(nfIDs, id)
+	}
+	sort.Strings(nfIDs)
+	for _, nfID := range nfIDs {
+		eeName := mapping.Placements[nfID]
+		nf := g.NF(nfID)
+		client, err := o.agent(eeName)
+		if err != nil {
+			return fail(err)
+		}
+		typ, err := o.cfg.Catalog.Lookup(nf.Type)
+		if err != nil {
+			return fail(err)
+		}
+		options := map[string]string{}
+		for k, v := range nf.Params {
+			options[k] = v
+		}
+		cpu, mem := mapping.nfDemand(nf)
+		options["cpu"] = fmt.Sprintf("%g", cpu)
+		options["mem"] = fmt.Sprint(mem)
+		vnfID, err := client.InitiateVNF(nf.Type, options)
+		if err != nil {
+			return fail(fmt.Errorf("core: initiateVNF %q on %q: %w", nfID, eeName, err))
+		}
+		dep := &DeployedNF{NF: nf, EE: eeName, VNFID: vnfID, SwPorts: map[string]uint16{}}
+		svc.NFs[nfID] = dep
+		// Connect every device the SG references (plus the catalog's
+		// port list so unused directions still exist).
+		needed := map[string]bool{}
+		for _, p := range typ.Ports {
+			needed[p] = true
+		}
+		for dev := range needed {
+			port, err := client.ConnectVNF(vnfID, dev, o.cfg.View.EEs[eeName].Switch)
+			if err != nil {
+				return fail(fmt.Errorf("core: connectVNF %s/%s: %w", nfID, dev, err))
+			}
+			dep.SwPorts[dev] = port
+		}
+		control, err := client.StartVNF(vnfID)
+		if err != nil {
+			return fail(fmt.Errorf("core: startVNF %q: %w", nfID, err))
+		}
+		dep.Control = control
+	}
+	svc.PhaseDurations["vnf-setup"] = time.Since(t1)
+
+	// Phase 3: steering.
+	t2 := time.Now()
+	linkIDs := make([]string, 0, len(mapping.Routes))
+	for id := range mapping.Routes {
+		linkIDs = append(linkIDs, id)
+	}
+	sort.Strings(linkIDs)
+	for _, linkID := range linkIDs {
+		l := g.Link(linkID)
+		path, err := o.concretePath(svc, l, mapping.Routes[linkID])
+		if err != nil {
+			return fail(err)
+		}
+		if _, err := o.cfg.Steering.InstallPath(*path); err != nil {
+			return fail(fmt.Errorf("core: steering link %q: %w", linkID, err))
+		}
+		svc.paths = append(svc.paths, path.ID)
+	}
+	svc.PhaseDurations["steering"] = time.Since(t2)
+
+	o.mu.Lock()
+	o.services[g.Name] = svc
+	o.mu.Unlock()
+	return svc, nil
+}
+
+// concretePath expands a switch route into port-level hops.
+func (o *Orchestrator) concretePath(svc *Service, l *sg.Link, route []string) (*steering.Path, error) {
+	srcPort, err := o.attachPort(svc, l.Src, false)
+	if err != nil {
+		return nil, err
+	}
+	dstPort, err := o.attachPort(svc, l.Dst, true)
+	if err != nil {
+		return nil, err
+	}
+	hops := make([]steering.Hop, len(route))
+	for i, sw := range route {
+		dpid, ok := o.cfg.View.Switches[sw]
+		if !ok {
+			return nil, fmt.Errorf("core: route through unknown switch %q", sw)
+		}
+		hop := steering.Hop{DPID: dpid}
+		if i == 0 {
+			hop.InPort = srcPort
+		} else {
+			lr := o.cfg.View.linkBetween(route[i-1], sw)
+			if lr == nil {
+				return nil, fmt.Errorf("core: route %v has no link %s–%s", route, route[i-1], sw)
+			}
+			hop.InPort = portFacing(lr, sw)
+		}
+		if i == len(route)-1 {
+			hop.OutPort = dstPort
+		} else {
+			lr := o.cfg.View.linkBetween(sw, route[i+1])
+			if lr == nil {
+				return nil, fmt.Errorf("core: route %v has no link %s–%s", route, sw, route[i+1])
+			}
+			hop.OutPort = portFacing(lr, sw)
+		}
+		hops[i] = hop
+	}
+	return &steering.Path{ID: svc.Name + "/" + l.ID, Hops: hops}, nil
+}
+
+// portFacing returns lr's port number on switch sw.
+func portFacing(lr *LinkRes, sw string) uint16 {
+	if lr.A == sw {
+		return lr.PortA
+	}
+	return lr.PortB
+}
+
+// attachPort resolves an SG endpoint to the switch port where its traffic
+// enters (dst=false) or leaves (dst=true) the network.
+func (o *Orchestrator) attachPort(svc *Service, ep sg.Endpoint, dst bool) (uint16, error) {
+	if sap := o.cfg.View.SAPs[ep.Node]; sap != nil {
+		return sap.Port, nil
+	}
+	dep := svc.NFs[ep.Node]
+	if dep == nil {
+		return 0, fmt.Errorf("core: endpoint %q not deployed", ep.Node)
+	}
+	port, ok := dep.SwPorts[ep.Port]
+	if !ok {
+		return 0, fmt.Errorf("core: NF %q has no connected device %q", ep.Node, ep.Port)
+	}
+	return port, nil
+}
+
+// Undeploy tears a service down: steering rules out, VNFs stopped,
+// resources released.
+func (o *Orchestrator) Undeploy(name string) error {
+	o.mu.Lock()
+	svc := o.services[name]
+	delete(o.services, name)
+	o.mu.Unlock()
+	if svc == nil {
+		return fmt.Errorf("core: service %q not deployed", name)
+	}
+	return o.teardown(svc)
+}
+
+func (o *Orchestrator) teardown(svc *Service) error {
+	var firstErr error
+	for _, pathID := range svc.paths {
+		if err := o.cfg.Steering.RemovePath(pathID); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	svc.paths = nil
+	for _, dep := range svc.NFs {
+		client, err := o.agent(dep.EE)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if dep.Control != "" { // started
+			if err := client.StopVNF(dep.VNFID); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	if svc.Mapping != nil {
+		o.cfg.View.Release(svc.Mapping)
+	}
+	return firstErr
+}
+
+// Service returns a deployed service by name, or nil.
+func (o *Orchestrator) Service(name string) *Service {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.services[name]
+}
+
+// Services lists deployed service names, sorted.
+func (o *Orchestrator) Services() []string {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]string, 0, len(o.services))
+	for n := range o.services {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Close releases management sessions.
+func (o *Orchestrator) Close() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for _, c := range o.agents {
+		c.Close()
+	}
+	o.agents = map[string]*vnfagent.Client{}
+}
+
+// ChainFlowStats sums steered-traffic counters across a service's path
+// ingress switches: real-time management information on running chains.
+func (o *Orchestrator) ChainFlowStats(name string) (packets, bytes uint64, err error) {
+	svc := o.Service(name)
+	if svc == nil {
+		return 0, 0, fmt.Errorf("core: service %q not deployed", name)
+	}
+	for _, route := range svc.Mapping.Routes {
+		dpid := o.cfg.View.Switches[route[0]]
+		conn := o.cfg.Controller.Connection(dpid)
+		if conn == nil {
+			continue
+		}
+		flows, err := conn.FlowStats(openflow.MatchAll(), 2*time.Second)
+		if err != nil {
+			return 0, 0, err
+		}
+		for _, f := range flows {
+			if f.Priority == 30000 { // steering band
+				packets += f.PacketCount
+				bytes += f.ByteCount
+			}
+		}
+	}
+	return packets, bytes, nil
+}

@@ -1,0 +1,366 @@
+// Package core implements ESCAPE's Orchestrator layer: the paper's
+// primary contribution. It builds a global resource view of the emulated
+// infrastructure, maps abstract service graphs (internal/sg) onto it with
+// pluggable algorithms (the Mapper interface — "a dedicated component
+// maps abstract service graphs into available resources based on
+// different optimization algorithms, which can be easily changed or
+// customized"), and drives deployment: VNF lifecycle over NETCONF
+// (internal/vnfagent) and traffic steering over OpenFlow
+// (internal/steering).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"escape/internal/netem"
+)
+
+// EERes describes one VNF container in the resource view.
+type EERes struct {
+	Name string
+	CPU  float64
+	Mem  int
+	// Switch is the datapath the EE's VNF ports attach to.
+	Switch string
+}
+
+// SAPRes binds a service access point to its infrastructure attachment.
+type SAPRes struct {
+	ID     string
+	Host   string
+	Switch string
+	Port   uint16
+}
+
+// LinkRes is one undirected switch-to-switch link.
+type LinkRes struct {
+	A, B         string // switch names
+	PortA, PortB uint16
+	// Bandwidth capacity in bits per second (0 = uncapacitated).
+	Bandwidth float64
+	// Delay is the one-way propagation delay.
+	Delay time.Duration
+}
+
+// ResourceView is the orchestrator's global network+compute view.
+type ResourceView struct {
+	Switches map[string]uint64 // name → dpid
+	EEs      map[string]*EERes
+	SAPs     map[string]*SAPRes
+	Links    []*LinkRes
+
+	mu     sync.Mutex
+	resCPU map[string]float64 // committed CPU per EE
+	resMem map[string]int
+	resBW  map[linkKey]float64
+}
+
+type linkKey struct{ a, b string }
+
+func mkLinkKey(a, b string) linkKey {
+	if a > b {
+		a, b = b, a
+	}
+	return linkKey{a, b}
+}
+
+// NewResourceView returns an empty view; populate and call Finish, or use
+// BuildResourceView.
+func NewResourceView() *ResourceView {
+	return &ResourceView{
+		Switches: map[string]uint64{},
+		EEs:      map[string]*EERes{},
+		SAPs:     map[string]*SAPRes{},
+		resCPU:   map[string]float64{},
+		resMem:   map[string]int{},
+		resBW:    map[linkKey]float64{},
+	}
+}
+
+// BuildResourceView scans an emulated network: switches and host-switch
+// attachments are discovered from topology links (each host becomes the
+// SAP named like itself), EEs from eeSwitch (EE name → attachment
+// switch), and inter-switch links with their configured shaping.
+func BuildResourceView(n *netem.Network, eeSwitch map[string]string) (*ResourceView, error) {
+	rv := NewResourceView()
+	for _, node := range n.Nodes() {
+		if s, ok := node.(*netem.SwitchNode); ok {
+			rv.Switches[s.NodeName()] = s.DPID()
+		}
+	}
+	for eeName, swName := range eeSwitch {
+		ee, ok := n.Node(eeName).(*netem.EE)
+		if !ok {
+			return nil, fmt.Errorf("core: %q is not an EE", eeName)
+		}
+		if _, ok := rv.Switches[swName]; !ok {
+			return nil, fmt.Errorf("core: EE %q attached to unknown switch %q", eeName, swName)
+		}
+		cfg := ee.Config()
+		rv.EEs[eeName] = &EERes{Name: eeName, CPU: cfg.CPU, Mem: cfg.Mem, Switch: swName}
+	}
+	for _, l := range n.Links() {
+		an, bn := l.A.Node, l.B.Node
+		switch {
+		case an.Kind() == netem.KindSwitch && bn.Kind() == netem.KindSwitch:
+			cfg := l.Config()
+			rv.Links = append(rv.Links, &LinkRes{
+				A: an.NodeName(), B: bn.NodeName(),
+				PortA: l.A.No, PortB: l.B.No,
+				Bandwidth: cfg.Bandwidth, Delay: cfg.Delay,
+			})
+		case an.Kind() == netem.KindHost && bn.Kind() == netem.KindSwitch:
+			rv.SAPs[an.NodeName()] = &SAPRes{
+				ID: an.NodeName(), Host: an.NodeName(),
+				Switch: bn.NodeName(), Port: l.B.No,
+			}
+		case an.Kind() == netem.KindSwitch && bn.Kind() == netem.KindHost:
+			rv.SAPs[bn.NodeName()] = &SAPRes{
+				ID: bn.NodeName(), Host: bn.NodeName(),
+				Switch: an.NodeName(), Port: l.A.No,
+			}
+		}
+	}
+	return rv, nil
+}
+
+// EENames returns sorted EE names (deterministic mapper iteration).
+func (rv *ResourceView) EENames() []string {
+	out := make([]string, 0, len(rv.EEs))
+	for n := range rv.EEs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// linkBetween finds the resource link joining two switches, or nil.
+func (rv *ResourceView) linkBetween(a, b string) *LinkRes {
+	for _, l := range rv.Links {
+		if (l.A == a && l.B == b) || (l.A == b && l.B == a) {
+			return l
+		}
+	}
+	return nil
+}
+
+// neighbors returns adjacent switch names.
+func (rv *ResourceView) neighbors(sw string) []string {
+	var out []string
+	for _, l := range rv.Links {
+		if l.A == sw {
+			out = append(out, l.B)
+		} else if l.B == sw {
+			out = append(out, l.A)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Capacities is a mutable snapshot of free resources used during mapping.
+type Capacities struct {
+	CPUFree map[string]float64
+	MemFree map[string]int
+	BWFree  map[linkKey]float64
+	rv      *ResourceView
+}
+
+// Snapshot captures current free capacities (total minus committed).
+func (rv *ResourceView) Snapshot() *Capacities {
+	rv.mu.Lock()
+	defer rv.mu.Unlock()
+	c := &Capacities{
+		CPUFree: map[string]float64{},
+		MemFree: map[string]int{},
+		BWFree:  map[linkKey]float64{},
+		rv:      rv,
+	}
+	for name, ee := range rv.EEs {
+		c.CPUFree[name] = ee.CPU - rv.resCPU[name]
+		c.MemFree[name] = ee.Mem - rv.resMem[name]
+	}
+	for _, l := range rv.Links {
+		k := mkLinkKey(l.A, l.B)
+		if l.Bandwidth > 0 {
+			c.BWFree[k] = l.Bandwidth - rv.resBW[k]
+		}
+	}
+	return c
+}
+
+// Clone deep-copies the capacities (backtracking mappers fork state).
+func (c *Capacities) Clone() *Capacities {
+	nc := &Capacities{
+		CPUFree: make(map[string]float64, len(c.CPUFree)),
+		MemFree: make(map[string]int, len(c.MemFree)),
+		BWFree:  make(map[linkKey]float64, len(c.BWFree)),
+		rv:      c.rv,
+	}
+	for k, v := range c.CPUFree {
+		nc.CPUFree[k] = v
+	}
+	for k, v := range c.MemFree {
+		nc.MemFree[k] = v
+	}
+	for k, v := range c.BWFree {
+		nc.BWFree[k] = v
+	}
+	return nc
+}
+
+// FitsEE reports whether an EE has the demanded headroom.
+func (c *Capacities) FitsEE(ee string, cpu float64, mem int) bool {
+	return c.CPUFree[ee] >= cpu && c.MemFree[ee] >= mem
+}
+
+// TakeEE reserves compute on an EE.
+func (c *Capacities) TakeEE(ee string, cpu float64, mem int) {
+	c.CPUFree[ee] -= cpu
+	c.MemFree[ee] -= mem
+}
+
+// linkFits reports whether the link between two adjacent switches has bw
+// headroom (uncapacitated links always fit).
+func (c *Capacities) linkFits(a, b string, bw float64) bool {
+	l := c.rv.linkBetween(a, b)
+	if l == nil {
+		return false
+	}
+	if l.Bandwidth <= 0 || bw <= 0 {
+		return l.Bandwidth <= 0 || c.BWFree[mkLinkKey(a, b)] >= bw
+	}
+	return c.BWFree[mkLinkKey(a, b)] >= bw
+}
+
+// takePath reserves bandwidth along a switch route.
+func (c *Capacities) takePath(route []string, bw float64) {
+	if bw <= 0 {
+		return
+	}
+	for i := 0; i+1 < len(route); i++ {
+		k := mkLinkKey(route[i], route[i+1])
+		if _, capped := c.BWFree[k]; capped {
+			c.BWFree[k] -= bw
+		}
+	}
+}
+
+// ShortestFeasiblePath finds the minimum-hop switch route from a to b
+// whose every link has bw headroom and whose total propagation delay is
+// within maxDelay (0 = unbounded). Returns nil when no route exists.
+func (c *Capacities) ShortestFeasiblePath(a, b string, bw float64, maxDelay time.Duration) []string {
+	if a == b {
+		return []string{a}
+	}
+	type state struct {
+		sw    string
+		delay time.Duration
+	}
+	prev := map[string]string{}
+	seen := map[string]bool{a: true}
+	queue := []state{{sw: a}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range c.rv.neighbors(cur.sw) {
+			if seen[nb] {
+				continue
+			}
+			if !c.linkFits(cur.sw, nb, bw) {
+				continue
+			}
+			l := c.rv.linkBetween(cur.sw, nb)
+			nd := cur.delay + l.Delay
+			if maxDelay > 0 && nd > maxDelay {
+				continue
+			}
+			seen[nb] = true
+			prev[nb] = cur.sw
+			if nb == b {
+				// Reconstruct.
+				route := []string{b}
+				for at := b; at != a; {
+					at = prev[at]
+					route = append([]string{at}, route...)
+				}
+				return route
+			}
+			queue = append(queue, state{sw: nb, delay: nd})
+		}
+	}
+	return nil
+}
+
+// HopDistances computes BFS hop counts from a source switch (heuristic
+// mappers use these as distance estimates, ignoring capacity).
+func (rv *ResourceView) HopDistances(from string) map[string]int {
+	dist := map[string]int{from: 0}
+	queue := []string{from}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range rv.neighbors(cur) {
+			if _, ok := dist[nb]; ok {
+				continue
+			}
+			dist[nb] = dist[cur] + 1
+			queue = append(queue, nb)
+		}
+	}
+	return dist
+}
+
+// Commit reserves a mapping's resources in the view (called by the
+// orchestrator after a successful Map).
+func (rv *ResourceView) Commit(m *Mapping) {
+	rv.mu.Lock()
+	defer rv.mu.Unlock()
+	for nfID, ee := range m.Placements {
+		nf := m.Graph.NF(nfID)
+		cpu, mem := m.nfDemand(nf)
+		rv.resCPU[ee] += cpu
+		rv.resMem[ee] += mem
+	}
+	for linkID, route := range m.Routes {
+		l := m.Graph.Link(linkID)
+		if l == nil {
+			continue
+		}
+		bw := m.linkDemand(l)
+		if bw <= 0 {
+			continue
+		}
+		for i := 0; i+1 < len(route); i++ {
+			rv.resBW[mkLinkKey(route[i], route[i+1])] += bw
+		}
+	}
+}
+
+// Release returns a mapping's resources to the view (teardown).
+func (rv *ResourceView) Release(m *Mapping) {
+	rv.mu.Lock()
+	defer rv.mu.Unlock()
+	for nfID, ee := range m.Placements {
+		nf := m.Graph.NF(nfID)
+		cpu, mem := m.nfDemand(nf)
+		rv.resCPU[ee] -= cpu
+		rv.resMem[ee] -= mem
+	}
+	for linkID, route := range m.Routes {
+		l := m.Graph.Link(linkID)
+		if l == nil {
+			continue
+		}
+		bw := m.linkDemand(l)
+		if bw <= 0 {
+			continue
+		}
+		for i := 0; i+1 < len(route); i++ {
+			rv.resBW[mkLinkKey(route[i], route[i+1])] -= bw
+		}
+	}
+}

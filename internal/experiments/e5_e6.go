@@ -1,0 +1,225 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"escape/internal/click"
+	"escape/internal/netem"
+	"escape/internal/pkt"
+	"escape/internal/pox"
+	"escape/internal/steering"
+)
+
+// lineEnv builds h1—s1—s2—…—sN—h2 with the steering component.
+func lineEnv(nSwitches int, mode steering.Mode, tcp bool) (*netem.Network, *pox.Controller, *steering.Steering, error) {
+	ctrl := pox.NewController()
+	st := steering.New(ctrl, mode)
+	ctrl.Register(st)
+	netMode := netem.ControllerPipe
+	if tcp {
+		if err := ctrl.ListenAndServe("127.0.0.1:0"); err != nil {
+			return nil, nil, nil, err
+		}
+		netMode = netem.ControllerTCP
+	}
+	n := netem.New("e5", netem.Options{Controller: ctrl, Mode: netMode})
+	for i := 1; i <= nSwitches; i++ {
+		if _, err := n.AddSwitch(fmt.Sprintf("s%d", i)); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	n.AddHost("h1")
+	n.AddHost("h2")
+	// h1 on s1 port 1; trunks si:2→si+1:1 …; h2 appended last.
+	if _, err := n.AddLink("h1", "s1", netem.LinkConfig{}); err != nil {
+		return nil, nil, nil, err
+	}
+	for i := 1; i < nSwitches; i++ {
+		if _, err := n.AddLink(fmt.Sprintf("s%d", i), fmt.Sprintf("s%d", i+1), netem.LinkConfig{}); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	if _, err := n.AddLink(fmt.Sprintf("s%d", nSwitches), "h2", netem.LinkConfig{}); err != nil {
+		return nil, nil, nil, err
+	}
+	if err := n.Start(); err != nil {
+		return nil, nil, nil, err
+	}
+	return n, ctrl, st, nil
+}
+
+// e5Hops builds the port-level path across the line topology.
+func e5Hops(n *netem.Network, nSwitches int) []steering.Hop {
+	hops := make([]steering.Hop, nSwitches)
+	for i := 1; i <= nSwitches; i++ {
+		sw := n.Node(fmt.Sprintf("s%d", i)).(*netem.SwitchNode)
+		var in, out uint16
+		switch {
+		case nSwitches == 1:
+			in, out = 1, 2
+		case i == 1:
+			in, out = 1, 2
+		case i == nSwitches:
+			in, out = 1, 2
+		default:
+			in, out = 1, 2
+		}
+		hops[i-1] = steering.Hop{DPID: sw.DPID(), InPort: in, OutPort: out}
+	}
+	return hops
+}
+
+// E5Steering measures chain-path installation: rule count, install
+// latency (including barriers) and first-packet latency, across path
+// lengths and the design ablations (VLAN vs per-hop rules, pipe vs TCP
+// control channel).
+func E5Steering(lengths []int) (*Table, error) {
+	if len(lengths) == 0 {
+		lengths = []int{1, 2, 4, 8}
+	}
+	t := &Table{
+		ID:      "E5",
+		Title:   "Steering setup vs path length (mode × transport ablation)",
+		Columns: []string{"switches", "mode", "transport", "rules", "install_ms", "first_pkt_ms"},
+		Notes:   []string{"shape check: install latency grows linearly with path length; TCP ≳ pipe"},
+	}
+	for _, L := range lengths {
+		for _, mode := range []steering.Mode{steering.ModeVLAN, steering.ModePerHop} {
+			for _, tcp := range []bool{false, true} {
+				n, ctrl, st, err := lineEnv(L, mode, tcp)
+				if err != nil {
+					return nil, err
+				}
+				hops := e5Hops(n, L)
+				t0 := time.Now()
+				inst, err := st.InstallPath(steering.Path{ID: "p", Hops: hops})
+				install := time.Since(t0)
+				if err != nil {
+					n.Stop()
+					ctrl.Close()
+					return nil, err
+				}
+				h1 := n.Node("h1").(*netem.Host)
+				h2 := n.Node("h2").(*netem.Host)
+				h2.SetAutoRespond(false)
+				frame, _ := pkt.BuildUDP(h1.MAC(), h2.MAC(), h1.IP(), h2.IP(), 1, 2, []byte("x"))
+				t1 := time.Now()
+				h1.Send(frame)
+				var firstPkt time.Duration
+				select {
+				case <-h2.Recv():
+					firstPkt = time.Since(t1)
+				case <-time.After(5 * time.Second):
+					n.Stop()
+					ctrl.Close()
+					return nil, fmt.Errorf("experiments: E5 L=%d frame lost", L)
+				}
+				modeName := "vlan"
+				if mode == steering.ModePerHop {
+					modeName = "per-hop"
+				}
+				transport := "pipe"
+				if tcp {
+					transport = "tcp"
+				}
+				t.AddRow(fmt.Sprint(L), modeName, transport,
+					fmt.Sprint(inst.RuleCount), ms(install), ms(firstPkt))
+				n.Stop()
+				ctrl.Close()
+			}
+		}
+	}
+	return t, nil
+}
+
+// chainOfRouters builds L Click forwarder VNFs connected in series via
+// shared channels and returns the entry channel, exit channel and the
+// routers.
+func chainOfRouters(L int, driver click.DriverMode) (chan []byte, chan []byte, []*click.Router, error) {
+	chans := make([]chan []byte, L+1)
+	for i := range chans {
+		chans[i] = make(chan []byte, 4096)
+	}
+	routers := make([]*click.Router, L)
+	for i := 0; i < L; i++ {
+		in := &click.ChanDevice{Name: "in", In: chans[i]}
+		out := &click.ChanDevice{Name: "out", Out: chans[i+1]}
+		r, err := click.NewRouter(fmt.Sprintf("vnf%d", i),
+			`FromDevice(in) -> cnt :: Counter -> Queue(4096) -> ToDevice(out);`,
+			click.Options{Devices: map[string]click.Device{"in": in, "out": out}, Driver: driver})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		routers[i] = r
+	}
+	return chans[0], chans[L], routers, nil
+}
+
+// E6ClickDataPlane pushes frames through chains of Click VNFs and
+// reports throughput, including the scheduler ablation (single-threaded
+// vs goroutine-per-task driver).
+func E6ClickDataPlane(lengths []int, frameSizes []int, packets int) (*Table, error) {
+	if len(lengths) == 0 {
+		lengths = []int{1, 2, 4, 8}
+	}
+	if len(frameSizes) == 0 {
+		frameSizes = []int{64, 512, 1500}
+	}
+	if packets <= 0 {
+		packets = 2000
+	}
+	t := &Table{
+		ID:      "E6",
+		Title:   fmt.Sprintf("Click data plane: %d frames through VNF chains", packets),
+		Columns: []string{"chain_len", "frame_B", "driver", "kpps", "us_per_pkt"},
+		Notes:   []string{"shape check: throughput falls ~1/L in chain length"},
+	}
+	for _, L := range lengths {
+		for _, size := range frameSizes {
+			for _, driver := range []click.DriverMode{click.SingleThreaded, click.GoroutinePerTask} {
+				entry, exit, routers, err := chainOfRouters(L, driver)
+				if err != nil {
+					return nil, err
+				}
+				ctx, cancel := context.WithCancel(context.Background())
+				for _, r := range routers {
+					go r.Run(ctx)
+				}
+				frame := make([]byte, size)
+				start := time.Now()
+				go func() {
+					for i := 0; i < packets; i++ {
+						entry <- frame
+					}
+				}()
+				received := 0
+				timeout := time.After(30 * time.Second)
+				for received < packets {
+					select {
+					case <-exit:
+						received++
+					case <-timeout:
+						cancel()
+						return nil, fmt.Errorf("experiments: E6 stalled at %d/%d (L=%d)", received, packets, L)
+					}
+				}
+				elapsed := time.Since(start)
+				cancel()
+				for _, r := range routers {
+					r.Stop()
+				}
+				kpps := float64(packets) / elapsed.Seconds() / 1000
+				perPkt := elapsed / time.Duration(packets)
+				driverName := "single"
+				if driver == click.GoroutinePerTask {
+					driverName = "per-task"
+				}
+				t.AddRow(fmt.Sprint(L), fmt.Sprint(size), driverName,
+					fmt.Sprintf("%.1f", kpps), us(perPkt))
+			}
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,161 @@
+package netconf
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"escape/internal/yang"
+)
+
+// Client is a NETCONF client session: the orchestrator's side of VNF
+// management.
+type Client struct {
+	conn      net.Conn
+	fr        *framer
+	mu        sync.Mutex
+	messageID int
+	// SessionID assigned by the server in its hello.
+	SessionID string
+	// ServerCapabilities from the hello exchange.
+	ServerCapabilities []string
+}
+
+// Dial connects, exchanges hellos and negotiates framing.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("netconf: dial %s: %w", addr, err)
+	}
+	c := &Client{conn: conn, fr: newFramer(conn)}
+	// Client hello.
+	hello := yang.NewData("hello").SetAttr("xmlns", BaseNS).Add(
+		yang.NewData("capabilities").
+			AddLeaf("capability", CapBase10).
+			AddLeaf("capability", CapBase11),
+	)
+	if err := c.fr.WriteMessage([]byte(hello.XML())); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	raw, err := c.fr.ReadMessage()
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("netconf: reading server hello: %w", err)
+	}
+	srv, err := yang.ParseXML(string(raw))
+	if err != nil || srv.Name != "hello" {
+		conn.Close()
+		return nil, fmt.Errorf("netconf: bad server hello")
+	}
+	c.SessionID = srv.ChildText("session-id")
+	if caps := srv.Child("capabilities"); caps != nil {
+		for _, cap := range caps.ChildrenNamed("capability") {
+			c.ServerCapabilities = append(c.ServerCapabilities, cap.Text)
+		}
+	}
+	if peerAdvertises(srv, CapBase11) {
+		c.fr.upgrade()
+	}
+	return c, nil
+}
+
+// Call sends one RPC operation and returns the rpc-reply element.
+// rpc-error replies surface as Go errors.
+func (c *Client) Call(op *yang.Data) (*yang.Data, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.messageID++
+	rpc := yang.NewData("rpc").
+		SetAttr("xmlns", BaseNS).
+		SetAttr("message-id", fmt.Sprint(c.messageID)).
+		Add(op)
+	if err := c.fr.WriteMessage([]byte(rpc.XML())); err != nil {
+		return nil, fmt.Errorf("netconf: sending rpc: %w", err)
+	}
+	raw, err := c.fr.ReadMessage()
+	if err != nil {
+		return nil, fmt.Errorf("netconf: reading reply: %w", err)
+	}
+	reply, err := yang.ParseXML(string(raw))
+	if err != nil {
+		return nil, fmt.Errorf("netconf: parsing reply: %w", err)
+	}
+	if reply.Name != "rpc-reply" {
+		return nil, fmt.Errorf("netconf: expected rpc-reply, got <%s>", reply.Name)
+	}
+	if e := reply.Child("rpc-error"); e != nil {
+		return nil, &RPCError{
+			Type:     e.ChildText("error-type"),
+			Tag:      e.ChildText("error-tag"),
+			Severity: e.ChildText("error-severity"),
+			Message:  e.ChildText("error-message"),
+		}
+	}
+	return reply, nil
+}
+
+// RPCError is a structured <rpc-error> reply.
+type RPCError struct {
+	Type, Tag, Severity, Message string
+}
+
+// Error implements error.
+func (e *RPCError) Error() string {
+	return fmt.Sprintf("netconf: rpc-error (%s/%s): %s", e.Type, e.Tag, e.Message)
+}
+
+// Get retrieves state and config (<get>).
+func (c *Client) Get() (*yang.Data, error) {
+	reply, err := c.Call(yang.NewData("get"))
+	if err != nil {
+		return nil, err
+	}
+	data := reply.Child("data")
+	if data == nil {
+		return nil, fmt.Errorf("netconf: get reply without <data>")
+	}
+	return data, nil
+}
+
+// GetConfig retrieves the running configuration (<get-config>).
+func (c *Client) GetConfig() (*yang.Data, error) {
+	op := yang.NewData("get-config").Add(
+		yang.NewData("source").Add(yang.NewData("running")),
+	)
+	reply, err := c.Call(op)
+	if err != nil {
+		return nil, err
+	}
+	data := reply.Child("data")
+	if data == nil {
+		return nil, fmt.Errorf("netconf: get-config reply without <data>")
+	}
+	return data, nil
+}
+
+// EditConfig merges config into the running datastore.
+func (c *Client) EditConfig(config *yang.Data) error {
+	wrapped := yang.NewData("config")
+	wrapped.Children = append(wrapped.Children, config.Children...)
+	if len(wrapped.Children) == 0 {
+		wrapped.Add(config)
+	}
+	op := yang.NewData("edit-config").Add(
+		yang.NewData("target").Add(yang.NewData("running")),
+		wrapped,
+	)
+	_, err := c.Call(op)
+	return err
+}
+
+// Close sends close-session and closes the connection.
+func (c *Client) Close() error {
+	_, callErr := c.Call(yang.NewData("close-session"))
+	closeErr := c.conn.Close()
+	if callErr != nil {
+		return callErr
+	}
+	return closeErr
+}

@@ -1,0 +1,323 @@
+package netconf
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"escape/internal/yang"
+)
+
+func newServerClient(t *testing.T, srv *Server) *Client {
+	t.Helper()
+	if err := srv.ListenAndServe("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	c, err := Dial(srv.Addr().String(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.conn.Close() })
+	return c
+}
+
+func TestHelloExchange(t *testing.T) {
+	srv := NewServer()
+	c := newServerClient(t, srv)
+	if c.SessionID == "" {
+		t.Error("no session id")
+	}
+	found := false
+	for _, cap := range c.ServerCapabilities {
+		if cap == CapBase11 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("capabilities = %v", c.ServerCapabilities)
+	}
+	// base:1.1 on both sides → chunked framing in effect.
+	if !c.fr.chunked {
+		t.Error("client did not upgrade to chunked framing")
+	}
+}
+
+func TestGetConfigAndEditConfig(t *testing.T) {
+	srv := NewServer()
+	c := newServerClient(t, srv)
+	// Initially empty.
+	data, err := c.GetConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data.Children) != 0 {
+		t.Errorf("initial config = %s", data.XML())
+	}
+	// Edit, then read back.
+	edit := yang.NewData("config").Add(
+		yang.NewData("chains").Add(
+			yang.NewData("chain").AddLeaf("id", "c1").AddLeaf("status", "deployed"),
+		),
+	)
+	if err := c.EditConfig(edit); err != nil {
+		t.Fatal(err)
+	}
+	data, err = c.GetConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := data.Child("chains")
+	if chain == nil || chain.Child("chain").ChildText("id") != "c1" {
+		t.Fatalf("config after edit = %s", data.XML())
+	}
+	// Merge semantics: update the same entry.
+	edit2 := yang.NewData("config").Add(
+		yang.NewData("chains").Add(
+			yang.NewData("chain").AddLeaf("id", "c1").AddLeaf("status", "torn-down"),
+		),
+	)
+	if err := c.EditConfig(edit2); err != nil {
+		t.Fatal(err)
+	}
+	data, _ = c.GetConfig()
+	entries := data.Child("chains").ChildrenNamed("chain")
+	if len(entries) != 1 || entries[0].ChildText("status") != "torn-down" {
+		t.Fatalf("after merge = %s", data.XML())
+	}
+}
+
+func TestGetIncludesOperationalState(t *testing.T) {
+	srv := NewServer()
+	srv.StateProvider = func() *yang.Data {
+		return yang.NewData("vnfs").Add(
+			yang.NewData("vnf").AddLeaf("id", "v1").AddLeaf("status", "RUNNING"),
+		)
+	}
+	c := newServerClient(t, srv)
+	data, err := c.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vnfs := data.Child("vnfs")
+	if vnfs == nil || vnfs.Child("vnf").ChildText("status") != "RUNNING" {
+		t.Fatalf("get = %s", data.XML())
+	}
+}
+
+func TestCustomRPCDispatchAndValidation(t *testing.T) {
+	mod := &yang.Module{
+		Name: "m", Namespace: "urn:m", Prefix: "m",
+		RPCs: []*yang.Node{{
+			Name: "startVNF",
+			Input: []*yang.Node{
+				{Name: "vnf_id", Kind: yang.KindLeaf, Type: yang.TypeString, Mandatory: true},
+			},
+		}},
+	}
+	srv := NewServer(mod)
+	srv.Handle("startVNF", func(sess *Session, in *yang.Data) (*yang.Data, error) {
+		id := in.ChildText("vnf_id")
+		if id == "boom" {
+			return nil, fmt.Errorf("exploded")
+		}
+		return yang.NewData("status").Add(yang.Leaf("state", "RUNNING")), nil
+	})
+	c := newServerClient(t, srv)
+
+	// Valid call.
+	reply, err := c.Call(yang.NewData("startVNF").AddLeaf("vnf_id", "v1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Child("status").ChildText("state") != "RUNNING" {
+		t.Errorf("reply = %s", reply.XML())
+	}
+	// Handler error → RPCError.
+	_, err = c.Call(yang.NewData("startVNF").AddLeaf("vnf_id", "boom"))
+	rpcErr, ok := err.(*RPCError)
+	if !ok {
+		t.Fatalf("err = %v", err)
+	}
+	if rpcErr.Message != "exploded" || rpcErr.Severity != "error" {
+		t.Errorf("rpc error = %+v", rpcErr)
+	}
+	// Schema validation: mandatory leaf missing.
+	_, err = c.Call(yang.NewData("startVNF"))
+	if err == nil || !strings.Contains(err.Error(), "mandatory") {
+		t.Errorf("validation err = %v", err)
+	}
+	// Unknown operation.
+	_, err = c.Call(yang.NewData("frobnicate"))
+	if err == nil || !strings.Contains(err.Error(), "unknown operation") {
+		t.Errorf("unknown op err = %v", err)
+	}
+}
+
+func TestCloseSession(t *testing.T) {
+	srv := NewServer()
+	c := newServerClient(t, srv)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Session is gone: further calls fail.
+	if _, err := c.Call(yang.NewData("get")); err == nil {
+		t.Error("call after close succeeded")
+	}
+}
+
+func TestMultipleConcurrentSessions(t *testing.T) {
+	srv := NewServer()
+	srv.Handle("whoami", func(sess *Session, in *yang.Data) (*yang.Data, error) {
+		return yang.Leaf("session", fmt.Sprint(sess.ID)), nil
+	})
+	if err := srv.ListenAndServe("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ids := map[string]bool{}
+	for i := 0; i < 4; i++ {
+		c, err := Dial(srv.Addr().String(), 2*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reply, err := c.Call(yang.NewData("whoami"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		id := reply.ChildText("session")
+		if ids[id] {
+			t.Errorf("duplicate session id %s", id)
+		}
+		ids[id] = true
+		c.Close()
+	}
+}
+
+func TestEOMFraming(t *testing.T) {
+	var buf bytes.Buffer
+	f := newFramer(struct {
+		*bytes.Buffer
+	}{&buf})
+	msgs := [][]byte{[]byte("<a/>"), []byte("<b>body</b>"), []byte("<c>x]]>y</c>")}
+	// The third message contains a partial delimiter — EOM framing handles
+	// it because the full 6-byte sequence never appears inside.
+	for _, m := range msgs {
+		if err := f.WriteMessage(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range msgs {
+		got, err := f.ReadMessage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("read %q, want %q", got, want)
+		}
+	}
+}
+
+func TestChunkedFraming(t *testing.T) {
+	var buf bytes.Buffer
+	f := newFramer(struct {
+		*bytes.Buffer
+	}{&buf})
+	f.upgrade()
+	payload := bytes.Repeat([]byte("<x>chunky</x>"), 100)
+	if err := f.WriteMessage(payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.ReadMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Error("chunked round trip mismatch")
+	}
+}
+
+func TestChunkedFramingMultiChunk(t *testing.T) {
+	// Hand-build a two-chunk message.
+	raw := "\n#5\nhello\n#6\n world\n##\n"
+	f := newFramer(struct {
+		*bytes.Buffer
+	}{bytes.NewBufferString(raw)})
+	f.upgrade()
+	got, err := f.ReadMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello world" {
+		t.Errorf("multi-chunk read = %q", got)
+	}
+}
+
+func TestChunkedFramingErrors(t *testing.T) {
+	for _, raw := range []string{
+		"\n#abc\nxxx\n##\n", // non-numeric length
+		"\n#0\n\n##\n",      // zero length
+		"xyz",               // no frame start
+	} {
+		f := newFramer(struct {
+			*bytes.Buffer
+		}{bytes.NewBufferString(raw)})
+		f.upgrade()
+		if _, err := f.ReadMessage(); err == nil {
+			t.Errorf("ReadMessage(%q) succeeded", raw)
+		}
+	}
+}
+
+// Property: both framings round-trip arbitrary XML-ish payloads that do
+// not contain the EOM delimiter.
+func TestQuickFramingRoundTrip(t *testing.T) {
+	f := func(payload []byte, chunked bool) bool {
+		if bytes.Contains(payload, eomDelimiter) || len(payload) == 0 {
+			return true // EOM framing legitimately cannot carry these
+		}
+		var buf bytes.Buffer
+		fr := newFramer(struct {
+			*bytes.Buffer
+		}{&buf})
+		if chunked {
+			fr.upgrade()
+		}
+		if err := fr.WriteMessage(payload); err != nil {
+			return false
+		}
+		got, err := fr.ReadMessage()
+		if err != nil {
+			return false
+		}
+		if chunked {
+			return bytes.Equal(got, payload)
+		}
+		return bytes.Equal(got, bytes.TrimSpace(payload))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	// A listener that accepts then immediately closes → hello fails.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err == nil {
+			conn.Close()
+		}
+	}()
+	if _, err := Dial(ln.Addr().String(), time.Second); err == nil {
+		t.Error("dial to broken server succeeded")
+	}
+}

@@ -1,0 +1,251 @@
+package netconf
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"escape/internal/yang"
+)
+
+// RPCHandler processes one custom RPC: input is the <rpc> child element
+// (e.g. <startVNF>…), the return value becomes the <rpc-reply> content.
+// Returning an error produces an <rpc-error> reply.
+type RPCHandler func(sess *Session, input *yang.Data) (*yang.Data, error)
+
+// Server is a NETCONF server: OpenYuma's role in the original ESCAPE.
+type Server struct {
+	mu        sync.RWMutex
+	handlers  map[string]RPCHandler
+	modules   []*yang.Module
+	running   *yang.Data // <data> operational state provider
+	datastore *yang.Data // running config, edited via edit-config
+	ln        net.Listener
+	sessionID atomic.Uint32
+	closed    atomic.Bool
+	wg        sync.WaitGroup
+
+	// StateProvider, when set, is invoked on <get> to produce fresh
+	// operational state (appended to the static datastore contents).
+	StateProvider func() *yang.Data
+}
+
+// NewServer creates a server with an empty <config> datastore.
+func NewServer(modules ...*yang.Module) *Server {
+	return &Server{
+		handlers:  map[string]RPCHandler{},
+		modules:   modules,
+		datastore: yang.NewData("config"),
+	}
+}
+
+// Handle registers a custom RPC handler by element name ("startVNF").
+// When a module models the RPC, the input is validated against it first.
+func (s *Server) Handle(rpcName string, h RPCHandler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[rpcName] = h
+}
+
+// Datastore returns the running config tree (callers must not mutate
+// concurrently with sessions; use for test inspection).
+func (s *Server) Datastore() *yang.Data {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.datastore
+}
+
+// ListenAndServe starts accepting sessions on addr ("127.0.0.1:0").
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("netconf: listen: %w", err)
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				s.ServeConn(conn)
+			}()
+		}
+	}()
+	return nil
+}
+
+// Addr returns the listening address, or nil.
+func (s *Server) Addr() net.Addr {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close stops the listener; running sessions end when their connections
+// do.
+func (s *Server) Close() {
+	s.closed.Store(true)
+	s.mu.RLock()
+	ln := s.ln
+	s.mu.RUnlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+}
+
+// Session is one NETCONF session on the server side.
+type Session struct {
+	ID     uint32
+	server *Server
+	fr     *framer
+	conn   net.Conn
+	closed bool
+}
+
+// ServeConn runs the NETCONF session protocol on an established
+// connection until close-session or connection loss.
+func (s *Server) ServeConn(conn net.Conn) error {
+	defer conn.Close()
+	sess := &Session{
+		ID:     s.sessionID.Add(1),
+		server: s,
+		fr:     newFramer(conn),
+		conn:   conn,
+	}
+	// Hello exchange: server sends capabilities + session-id.
+	hello := yang.NewData("hello").SetAttr("xmlns", BaseNS)
+	caps := yang.NewData("capabilities").
+		AddLeaf("capability", CapBase10).
+		AddLeaf("capability", CapBase11)
+	hello.Add(caps, yang.Leaf("session-id", fmt.Sprint(sess.ID)))
+	if err := sess.fr.WriteMessage([]byte(hello.XML())); err != nil {
+		return err
+	}
+	peerRaw, err := sess.fr.ReadMessage()
+	if err != nil {
+		return fmt.Errorf("netconf: reading client hello: %w", err)
+	}
+	peer, err := yang.ParseXML(string(peerRaw))
+	if err != nil || peer.Name != "hello" {
+		return fmt.Errorf("netconf: bad client hello")
+	}
+	if peerAdvertises(peer, CapBase11) {
+		sess.fr.upgrade()
+	}
+	for !sess.closed {
+		raw, err := sess.fr.ReadMessage()
+		if err != nil {
+			return nil // connection gone
+		}
+		if len(raw) == 0 {
+			continue
+		}
+		rpc, err := yang.ParseXML(string(raw))
+		if err != nil || rpc.Name != "rpc" {
+			continue
+		}
+		reply := s.dispatch(sess, rpc)
+		if err := sess.fr.WriteMessage([]byte(reply.XML())); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func peerAdvertises(hello *yang.Data, cap string) bool {
+	caps := hello.Child("capabilities")
+	if caps == nil {
+		return false
+	}
+	for _, c := range caps.ChildrenNamed("capability") {
+		if strings.TrimSpace(c.Text) == cap {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Server) dispatch(sess *Session, rpc *yang.Data) *yang.Data {
+	reply := yang.NewData("rpc-reply").SetAttr("xmlns", BaseNS)
+	if id := rpc.Attr("message-id"); id != "" {
+		reply.SetAttr("message-id", id)
+	}
+	if len(rpc.Children) == 0 {
+		return rpcError(reply, "protocol", "missing operation")
+	}
+	op := rpc.Children[0]
+	switch op.Name {
+	case "close-session":
+		sess.closed = true
+		return reply.Add(yang.NewData("ok"))
+	case "get", "get-config":
+		data := yang.NewData("data")
+		s.mu.RLock()
+		ds := s.datastore.Clone()
+		s.mu.RUnlock()
+		data.Children = append(data.Children, ds.Children...)
+		if op.Name == "get" && s.StateProvider != nil {
+			if st := s.StateProvider(); st != nil {
+				data.Add(st)
+			}
+		}
+		return reply.Add(data)
+	case "edit-config":
+		cfg := op.Child("config")
+		if cfg == nil {
+			return rpcError(reply, "protocol", "edit-config without <config>")
+		}
+		s.mu.Lock()
+		yang.Merge(s.datastore, cfg)
+		s.mu.Unlock()
+		return reply.Add(yang.NewData("ok"))
+	}
+	// Custom RPC.
+	s.mu.RLock()
+	h := s.handlers[op.Name]
+	mods := s.modules
+	s.mu.RUnlock()
+	if h == nil {
+		return rpcError(reply, "application", fmt.Sprintf("unknown operation %q", op.Name))
+	}
+	for _, m := range mods {
+		if m.RPC(op.Name) != nil {
+			if err := m.ValidateRPCInput(op.Name, op); err != nil {
+				return rpcError(reply, "application", err.Error())
+			}
+			break
+		}
+	}
+	out, err := h(sess, op)
+	if err != nil {
+		return rpcError(reply, "application", err.Error())
+	}
+	if out == nil {
+		return reply.Add(yang.NewData("ok"))
+	}
+	return reply.Add(out)
+}
+
+func rpcError(reply *yang.Data, typ, msg string) *yang.Data {
+	return reply.Add(
+		yang.NewData("rpc-error").
+			AddLeaf("error-type", typ).
+			AddLeaf("error-tag", "operation-failed").
+			AddLeaf("error-severity", "error").
+			AddLeaf("error-message", msg),
+	)
+}

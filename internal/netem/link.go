@@ -1,0 +1,193 @@
+package netem
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LinkConfig shapes one link (both directions get the same parameters,
+// like Mininet's TCLink).
+type LinkConfig struct {
+	// Bandwidth in bits per second; 0 = unshaped ("fast mode").
+	Bandwidth float64
+	// Delay is the one-way propagation delay; 0 = none.
+	Delay time.Duration
+	// Loss is the per-packet loss probability in [0,1).
+	Loss float64
+	// QueueLen is the egress queue depth in packets (default 512).
+	QueueLen int
+	// LossSeed seeds the loss RNG for reproducible experiments.
+	LossSeed int64
+}
+
+// Link is a full-duplex connection between two ports, realized as two
+// independent simplex pipes.
+type Link struct {
+	A, B *Port
+	cfg  LinkConfig
+	ab   *pipe // A→B
+	ba   *pipe // B→A
+}
+
+// Config returns the link's shaping parameters.
+func (l *Link) Config() LinkConfig { return l.cfg }
+
+// LinkStats aggregates both directions.
+type LinkStats struct {
+	ABPackets, BAPackets uint64
+	ABDrops, BADrops     uint64
+	ABBytes, BABytes     uint64
+}
+
+// Stats snapshots the link counters.
+func (l *Link) Stats() LinkStats {
+	return LinkStats{
+		ABPackets: l.ab.packets.Load(), BAPackets: l.ba.packets.Load(),
+		ABDrops: l.ab.drops.Load(), BADrops: l.ba.drops.Load(),
+		ABBytes: l.ab.bytes.Load(), BABytes: l.ba.bytes.Load(),
+	}
+}
+
+// pipe is one direction of a link: an egress queue, optional token-bucket
+// serialization and a delay line, delivering into the peer port.
+type pipe struct {
+	cfg     LinkConfig
+	queue   chan []byte
+	deliver func(frame []byte)
+	rng     *rand.Rand
+	rngMu   sync.Mutex
+
+	packets atomic.Uint64
+	bytes   atomic.Uint64
+	drops   atomic.Uint64
+
+	wg   sync.WaitGroup
+	stop chan struct{}
+}
+
+func newPipe(cfg LinkConfig, deliver func([]byte), seedSalt int64) *pipe {
+	if cfg.QueueLen <= 0 {
+		cfg.QueueLen = 512
+	}
+	p := &pipe{
+		cfg:     cfg,
+		queue:   make(chan []byte, cfg.QueueLen),
+		deliver: deliver,
+		stop:    make(chan struct{}),
+	}
+	if cfg.Loss > 0 {
+		p.rng = rand.New(rand.NewSource(cfg.LossSeed ^ seedSalt))
+	}
+	return p
+}
+
+// send enqueues a frame for transmission; a full queue drops (tail drop),
+// exactly like a real egress queue.
+func (p *pipe) send(frame []byte) {
+	if p.lose() {
+		p.drops.Add(1)
+		return
+	}
+	// Fast path: unshaped link with empty queue delivers inline, avoiding
+	// a goroutine hop. This keeps large emulations (E3) cheap while
+	// shaped links still get full queue semantics.
+	if p.cfg.Bandwidth <= 0 && p.cfg.Delay <= 0 {
+		p.packets.Add(1)
+		p.bytes.Add(uint64(len(frame)))
+		p.deliver(frame)
+		return
+	}
+	select {
+	case p.queue <- frame:
+	default:
+		p.drops.Add(1)
+	}
+}
+
+func (p *pipe) lose() bool {
+	if p.rng == nil {
+		return false
+	}
+	p.rngMu.Lock()
+	defer p.rngMu.Unlock()
+	return p.rng.Float64() < p.cfg.Loss
+}
+
+// start launches the transmission goroutine for shaped pipes. Unshaped
+// pipes deliver inline and need no goroutine.
+func (p *pipe) start() {
+	if p.cfg.Bandwidth <= 0 && p.cfg.Delay <= 0 {
+		return
+	}
+	// Stage 1: serialization (token bucket at Bandwidth).
+	// Stage 2: propagation delay line preserving order.
+	var delayCh chan timedFrame
+	if p.cfg.Delay > 0 {
+		delayCh = make(chan timedFrame, cap(p.queue))
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for {
+				select {
+				case <-p.stop:
+					return
+				case tf := <-delayCh:
+					if d := time.Until(tf.deliverAt); d > 0 {
+						select {
+						case <-p.stop:
+							return
+						case <-time.After(d):
+						}
+					}
+					p.packets.Add(1)
+					p.bytes.Add(uint64(len(tf.frame)))
+					p.deliver(tf.frame)
+				}
+			}
+		}()
+	}
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		for {
+			select {
+			case <-p.stop:
+				return
+			case frame := <-p.queue:
+				if p.cfg.Bandwidth > 0 {
+					txTime := time.Duration(float64(len(frame)*8) / p.cfg.Bandwidth * float64(time.Second))
+					if txTime > 0 {
+						select {
+						case <-p.stop:
+							return
+						case <-time.After(txTime):
+						}
+					}
+				}
+				if delayCh != nil {
+					select {
+					case <-p.stop:
+						return
+					case delayCh <- timedFrame{frame: frame, deliverAt: time.Now().Add(p.cfg.Delay)}:
+					}
+					continue
+				}
+				p.packets.Add(1)
+				p.bytes.Add(uint64(len(frame)))
+				p.deliver(frame)
+			}
+		}
+	}()
+}
+
+func (p *pipe) close() {
+	close(p.stop)
+	p.wg.Wait()
+}
+
+type timedFrame struct {
+	frame     []byte
+	deliverAt time.Time
+}

@@ -1,0 +1,350 @@
+// Package netem is ESCAPE's network emulation substrate: the Mininet
+// substitute of the infrastructure layer. It builds topologies of hosts,
+// OpenFlow switches (internal/ofswitch) and VNF containers (execution
+// environments, EEs) connected by links with Mininet-TCLink-style
+// bandwidth/delay/loss shaping, and wires the switches to a POX-style
+// controller (internal/pox) over real OpenFlow connections.
+//
+// Differences from Mininet are deliberate and documented in DESIGN.md:
+// instead of network namespaces and veth pairs, nodes are goroutines and
+// links are queue-backed in-process pipes carrying real Ethernet frames;
+// instead of cgroups, EEs enforce a CPU-share resource model when the
+// cgroup isolation mode is selected.
+package netem
+
+import (
+	"fmt"
+	"net"
+	"net/netip"
+	"sort"
+	"sync"
+
+	"escape/internal/pox"
+)
+
+// NodeKind discriminates node types.
+type NodeKind int
+
+// Node kinds.
+const (
+	KindHost NodeKind = iota
+	KindSwitch
+	KindEE
+)
+
+// String implements fmt.Stringer.
+func (k NodeKind) String() string {
+	switch k {
+	case KindHost:
+		return "host"
+	case KindSwitch:
+		return "switch"
+	case KindEE:
+		return "ee"
+	}
+	return "unknown"
+}
+
+// Node is anything attachable to links.
+type Node interface {
+	// NodeName is the unique node name ("h1", "s3", "ee2").
+	NodeName() string
+	// Kind reports the node type.
+	Kind() NodeKind
+	// newPort allocates the node-side half of a link endpoint.
+	newPort(n *Network) (*Port, error)
+}
+
+// Port is one link endpoint on a node.
+type Port struct {
+	Name string // "h1-eth0", "s1-eth2"
+	Node Node
+	No   uint16 // port index on the node (switch port number)
+	MAC  [6]byte
+	IP   netip.Addr // valid on host ports
+	link *Link
+	pipe *pipe // egress pipe (this port → peer)
+	recv func(frame []byte)
+}
+
+// Send transmits a frame out of this port (towards the link peer).
+func (p *Port) Send(frame []byte) {
+	if p.pipe != nil {
+		p.pipe.send(frame)
+	}
+}
+
+// Peer returns the other end of the attached link, or nil.
+func (p *Port) Peer() *Port {
+	if p.link == nil {
+		return nil
+	}
+	if p.link.A == p {
+		return p.link.B
+	}
+	return p.link.A
+}
+
+// ControllerMode selects the switch↔controller transport.
+type ControllerMode int
+
+// Controller transports: in-process pipes (fast, default) or TCP via the
+// controller's listener (realistic). E5's ablation compares them.
+const (
+	ControllerPipe ControllerMode = iota
+	ControllerTCP
+)
+
+// Options configure a Network.
+type Options struct {
+	// Controller receives switch connections at Start. Nil = data plane
+	// only (no OpenFlow; switches drop on table miss).
+	Controller *pox.Controller
+	// Mode selects pipe vs TCP transport (TCP requires the controller to
+	// be listening already).
+	Mode ControllerMode
+	// DefaultLink shapes links created without an explicit config.
+	DefaultLink LinkConfig
+}
+
+// Network is an emulated topology.
+type Network struct {
+	name string
+	opts Options
+
+	mu      sync.RWMutex
+	nodes   map[string]Node
+	order   []string
+	links   []*Link
+	started bool
+
+	nextIP   uint32
+	nextMAC  uint32
+	nextDPID uint64
+}
+
+// New creates an empty network.
+func New(name string, opts Options) *Network {
+	return &Network{
+		name:    name,
+		opts:    opts,
+		nodes:   map[string]Node{},
+		nextIP:  1, // 10.0.0.1
+		nextMAC: 1,
+	}
+}
+
+// Name returns the network name.
+func (n *Network) Name() string { return n.name }
+
+func (n *Network) addNode(node Node) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	name := node.NodeName()
+	if _, dup := n.nodes[name]; dup {
+		return fmt.Errorf("netem: node %q already exists", name)
+	}
+	n.nodes[name] = node
+	n.order = append(n.order, name)
+	return nil
+}
+
+// Node returns a node by name, or nil.
+func (n *Network) Node(name string) Node {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.nodes[name]
+}
+
+// Nodes returns all nodes in creation order.
+func (n *Network) Nodes() []Node {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([]Node, 0, len(n.order))
+	for _, name := range n.order {
+		out = append(out, n.nodes[name])
+	}
+	return out
+}
+
+// NodeNames returns sorted node names of a kind.
+func (n *Network) NodeNames(kind NodeKind) []string {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	var out []string
+	for name, node := range n.nodes {
+		if node.Kind() == kind {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Links returns all links.
+func (n *Network) Links() []*Link {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return append([]*Link(nil), n.links...)
+}
+
+func (n *Network) allocIP() netip.Addr {
+	ip := n.nextIP
+	n.nextIP++
+	return netip.AddrFrom4([4]byte{10, byte(ip >> 16), byte(ip >> 8), byte(ip)})
+}
+
+func (n *Network) allocMAC() [6]byte {
+	m := n.nextMAC
+	n.nextMAC++
+	return [6]byte{0x02, 0x00, byte(m >> 24), byte(m >> 16), byte(m >> 8), byte(m)}
+}
+
+// AddHost creates a host with one auto-addressed port per link (addresses
+// assigned from 10.0.0.0/8).
+func (n *Network) AddHost(name string) (*Host, error) {
+	h := &Host{name: name}
+	if err := n.addNode(h); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// AddSwitch creates an OpenFlow switch with an auto-assigned datapath id.
+func (n *Network) AddSwitch(name string) (*SwitchNode, error) {
+	n.mu.Lock()
+	n.nextDPID++
+	dpid := n.nextDPID
+	n.mu.Unlock()
+	s := newSwitchNode(name, dpid)
+	if err := n.addNode(s); err != nil {
+		s.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// AddEE creates a VNF container (execution environment).
+func (n *Network) AddEE(name string, cfg EEConfig) (*EE, error) {
+	ee := newEE(name, cfg)
+	if err := n.addNode(ee); err != nil {
+		return nil, err
+	}
+	return ee, nil
+}
+
+// AddLink connects two nodes with cfg (zero LinkConfig inherits
+// Options.DefaultLink). Ports are allocated on both nodes. It may be
+// called before or after Start: ESCAPE's orchestrator wires VNF ports into
+// switches at deployment time.
+func (n *Network) AddLink(a, b string, cfg LinkConfig) (*Link, error) {
+	n.mu.RLock()
+	na, nb := n.nodes[a], n.nodes[b]
+	started := n.started
+	n.mu.RUnlock()
+	if na == nil {
+		return nil, fmt.Errorf("netem: unknown node %q", a)
+	}
+	if nb == nil {
+		return nil, fmt.Errorf("netem: unknown node %q", b)
+	}
+	if cfg == (LinkConfig{}) {
+		cfg = n.opts.DefaultLink
+	}
+	pa, err := na.newPort(n)
+	if err != nil {
+		return nil, fmt.Errorf("netem: adding port on %s: %w", a, err)
+	}
+	pb, err := nb.newPort(n)
+	if err != nil {
+		return nil, fmt.Errorf("netem: adding port on %s: %w", b, err)
+	}
+	l := &Link{A: pa, B: pb, cfg: cfg}
+	l.ab = newPipe(cfg, func(f []byte) { pb.recv(f) }, 1)
+	l.ba = newPipe(cfg, func(f []byte) { pa.recv(f) }, 2)
+	pa.link, pb.link = l, l
+	pa.pipe, pb.pipe = l.ab, l.ba
+	n.mu.Lock()
+	n.links = append(n.links, l)
+	n.mu.Unlock()
+	if started {
+		l.ab.start()
+		l.ba.start()
+	}
+	return l, nil
+}
+
+// Start launches link pipes and connects every switch to the controller.
+func (n *Network) Start() error {
+	n.mu.Lock()
+	if n.started {
+		n.mu.Unlock()
+		return fmt.Errorf("netem: network already started")
+	}
+	n.started = true
+	links := append([]*Link(nil), n.links...)
+	var switches []*SwitchNode
+	for _, name := range n.order {
+		if s, ok := n.nodes[name].(*SwitchNode); ok {
+			switches = append(switches, s)
+		}
+	}
+	n.mu.Unlock()
+
+	for _, l := range links {
+		l.ab.start()
+		l.ba.start()
+	}
+	if n.opts.Controller == nil {
+		return nil
+	}
+	for _, s := range switches {
+		if err := n.connectSwitch(s); err != nil {
+			return err
+		}
+	}
+	return n.opts.Controller.WaitForSwitches(len(switches), waitForSwitchesTimeout)
+}
+
+func (n *Network) connectSwitch(s *SwitchNode) error {
+	switch n.opts.Mode {
+	case ControllerTCP:
+		addr := n.opts.Controller.Addr()
+		if addr == nil {
+			return fmt.Errorf("netem: controller is not listening (TCP mode)")
+		}
+		conn, err := net.Dial("tcp", addr.String())
+		if err != nil {
+			return fmt.Errorf("netem: dialing controller: %w", err)
+		}
+		return s.sw.ConnectController(conn)
+	default:
+		cside, sside := net.Pipe()
+		go n.opts.Controller.Serve(cside)
+		return s.sw.ConnectController(sside)
+	}
+}
+
+// Stop closes every link pipe, switch and EE.
+func (n *Network) Stop() {
+	n.mu.Lock()
+	links := append([]*Link(nil), n.links...)
+	var nodes []Node
+	for _, name := range n.order {
+		nodes = append(nodes, n.nodes[name])
+	}
+	n.started = false
+	n.mu.Unlock()
+	for _, l := range links {
+		l.ab.close()
+		l.ba.close()
+	}
+	for _, node := range nodes {
+		switch v := node.(type) {
+		case *SwitchNode:
+			v.Close()
+		case *EE:
+			v.Close()
+		}
+	}
+}

@@ -1,0 +1,431 @@
+package netem
+
+import (
+	"testing"
+	"time"
+
+	"escape/internal/pkt"
+	"escape/internal/pox"
+)
+
+// newStartedNet builds and starts a network with an l2_learning controller.
+func newStartedNet(t *testing.T, build func(n *Network) error) (*Network, *pox.Controller) {
+	t.Helper()
+	ctrl := pox.NewController()
+	ctrl.Register(pox.NewL2Learning())
+	n := New("t", Options{Controller: ctrl})
+	if err := build(n); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		n.Stop()
+		ctrl.Close()
+	})
+	return n, ctrl
+}
+
+func TestAddNodesAndDuplicates(t *testing.T) {
+	n := New("t", Options{})
+	if _, err := n.AddHost("h1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.AddHost("h1"); err == nil {
+		t.Error("duplicate host accepted")
+	}
+	if _, err := n.AddSwitch("s1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.AddEE("ee1", EEConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if n.Node("h1") == nil || n.Node("nope") != nil {
+		t.Error("Node lookup broken")
+	}
+	if got := n.NodeNames(KindHost); len(got) != 1 || got[0] != "h1" {
+		t.Errorf("hosts = %v", got)
+	}
+	n.Stop()
+}
+
+func TestAddLinkUnknownNode(t *testing.T) {
+	n := New("t", Options{})
+	n.AddHost("h1")
+	if _, err := n.AddLink("h1", "ghost", LinkConfig{}); err == nil {
+		t.Error("link to unknown node accepted")
+	}
+	n.Stop()
+}
+
+func TestHostAddressing(t *testing.T) {
+	n := New("t", Options{})
+	h1, _ := n.AddHost("h1")
+	h2, _ := n.AddHost("h2")
+	n.AddSwitch("s1")
+	n.AddLink("h1", "s1", LinkConfig{})
+	n.AddLink("h2", "s1", LinkConfig{})
+	defer n.Stop()
+	if h1.IP() == h2.IP() {
+		t.Error("hosts share an IP")
+	}
+	if h1.MAC() == h2.MAC() {
+		t.Error("hosts share a MAC")
+	}
+	if h1.Port(0).Name != "h1-eth0" {
+		t.Errorf("port name = %s", h1.Port(0).Name)
+	}
+	if h1.Port(5) != nil {
+		t.Error("out-of-range port not nil")
+	}
+}
+
+func TestPingThroughLearningSwitch(t *testing.T) {
+	n, _ := newStartedNet(t, func(n *Network) error { return BuildSingle(n, 2) })
+	h1 := n.Node("h1").(*Host)
+	h2 := n.Node("h2").(*Host)
+
+	// ARP resolution: h1 asks for h2's MAC.
+	req, err := pkt.BuildARPRequest(h1.MAC(), h1.IP(), h2.IP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1.Send(req)
+	var h2mac pkt.MAC
+	select {
+	case rx := <-h1.Recv():
+		a, ok := pkt.Decode(rx.Frame).Layer(pkt.LayerTypeARP).(*pkt.ARP)
+		if !ok || a.Op != pkt.ARPReply || a.SenderIP != h2.IP() {
+			t.Fatalf("unexpected frame: %s", pkt.Decode(rx.Frame))
+		}
+		h2mac = a.SenderMAC
+	case <-time.After(2 * time.Second):
+		t.Fatal("no ARP reply")
+	}
+	if h2mac != h2.MAC() {
+		t.Fatalf("ARP reply MAC = %s, want %s", h2mac, h2.MAC())
+	}
+
+	// ICMP echo through the switch; h2's stack answers automatically.
+	echo, err := pkt.BuildICMPEcho(h1.MAC(), h2mac, h1.IP(), h2.IP(), pkt.ICMPEchoRequest, 7, 1, []byte("ping"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1.Send(echo)
+	select {
+	case rx := <-h1.Recv():
+		ic, ok := pkt.Decode(rx.Frame).Layer(pkt.LayerTypeICMP).(*pkt.ICMP)
+		if !ok || ic.Type != pkt.ICMPEchoReply || ic.Ident != 7 {
+			t.Fatalf("unexpected frame: %s", pkt.Decode(rx.Frame))
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no echo reply")
+	}
+}
+
+func TestLinearTopologyEndToEnd(t *testing.T) {
+	n, _ := newStartedNet(t, func(n *Network) error { return BuildLinear(n, 3) })
+	h1 := n.Node("h1").(*Host)
+	h3 := n.Node("h3").(*Host)
+	// UDP h1 → h3 across three switches: first flood reaches h3.
+	frame, err := pkt.BuildUDP(h1.MAC(), h3.MAC(), h1.IP(), h3.IP(), 1000, 2000, []byte("across"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1.Send(frame)
+	select {
+	case rx := <-h3.Recv():
+		u, ok := pkt.Decode(rx.Frame).Layer(pkt.LayerTypeUDP).(*pkt.UDP)
+		if !ok || string(u.Payload()) != "across" {
+			t.Fatalf("frame = %s", pkt.Decode(rx.Frame))
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("frame did not cross the linear topology")
+	}
+}
+
+func TestTreeTopologyShape(t *testing.T) {
+	n := New("t", Options{})
+	if err := BuildTree(n, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	defer n.Stop()
+	if got := len(n.NodeNames(KindSwitch)); got != 3 {
+		t.Errorf("switches = %d, want 3", got)
+	}
+	if got := len(n.NodeNames(KindHost)); got != 4 {
+		t.Errorf("hosts = %d, want 4", got)
+	}
+	if got := len(n.Links()); got != 6 {
+		t.Errorf("links = %d, want 6", got)
+	}
+}
+
+func TestBuildGeneratorsValidate(t *testing.T) {
+	n := New("t", Options{})
+	defer n.Stop()
+	if err := BuildSingle(n, 0); err == nil {
+		t.Error("single(0) accepted")
+	}
+	if err := BuildTree(n, 0, 2); err == nil {
+		t.Error("tree depth 0 accepted")
+	}
+}
+
+func TestShapedLinkDelay(t *testing.T) {
+	n := New("t", Options{})
+	h1, _ := n.AddHost("h1")
+	h2, _ := n.AddHost("h2")
+	n.AddLink("h1", "h2", LinkConfig{Delay: 30 * time.Millisecond})
+	if err := n.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer n.Stop()
+	h2.SetAutoRespond(false)
+	frame, _ := pkt.BuildUDP(h1.MAC(), h2.MAC(), h1.IP(), h2.IP(), 1, 2, []byte("delayed"))
+	start := time.Now()
+	h1.Send(frame)
+	select {
+	case <-h2.Recv():
+		if rtt := time.Since(start); rtt < 25*time.Millisecond {
+			t.Errorf("one-way latency = %v, want ≥30ms", rtt)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("delayed frame never arrived")
+	}
+}
+
+func TestShapedLinkBandwidth(t *testing.T) {
+	n := New("t", Options{})
+	h1, _ := n.AddHost("h1")
+	h2, _ := n.AddHost("h2")
+	// 800 kbit/s; 10 × 1000-byte frames = 80000 bits ≈ 100ms.
+	n.AddLink("h1", "h2", LinkConfig{Bandwidth: 800e3})
+	if err := n.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer n.Stop()
+	h2.SetAutoRespond(false)
+	frame, _ := pkt.BuildUDP(h1.MAC(), h2.MAC(), h1.IP(), h2.IP(), 1, 2, make([]byte, 958))
+	start := time.Now()
+	for i := 0; i < 10; i++ {
+		h1.Send(frame)
+	}
+	for i := 0; i < 10; i++ {
+		select {
+		case <-h2.Recv():
+		case <-time.After(5 * time.Second):
+			t.Fatal("shaped frames missing")
+		}
+	}
+	elapsed := time.Since(start)
+	if elapsed < 60*time.Millisecond {
+		t.Errorf("10 frames over 800kbps took %v, want ≥~100ms", elapsed)
+	}
+}
+
+func TestLossyLinkDropsSome(t *testing.T) {
+	n := New("t", Options{})
+	h1, _ := n.AddHost("h1")
+	h2, _ := n.AddHost("h2")
+	link, _ := n.AddLink("h1", "h2", LinkConfig{Loss: 0.5, LossSeed: 7, Delay: time.Microsecond})
+	if err := n.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer n.Stop()
+	h2.SetAutoRespond(false)
+	frame, _ := pkt.BuildUDP(h1.MAC(), h2.MAC(), h1.IP(), h2.IP(), 1, 2, nil)
+	for i := 0; i < 200; i++ {
+		h1.Send(frame)
+	}
+	time.Sleep(200 * time.Millisecond)
+	st := link.Stats()
+	if st.ABDrops == 0 {
+		t.Error("no drops on 50% lossy link")
+	}
+	if st.ABPackets == 0 {
+		t.Error("all packets dropped on 50% lossy link")
+	}
+	if st.ABDrops+st.ABPackets != 200 {
+		t.Errorf("drops(%d)+delivered(%d) != 200", st.ABDrops, st.ABPackets)
+	}
+}
+
+func TestEEVNFLifecycle(t *testing.T) {
+	n, _ := newStartedNet(t, func(n *Network) error {
+		if err := BuildSingle(n, 2); err != nil {
+			return err
+		}
+		_, err := n.AddEE("ee1", EEConfig{CPU: 2, Mem: 1024})
+		return err
+	})
+	ee := n.Node("ee1").(*EE)
+
+	// initiateVNF: a simple forwarder with two devices.
+	_, err := ee.InitVNF(VNFSpec{
+		Name:        "fwd1",
+		ClickConfig: `FromDevice(in) -> cnt :: Counter -> Queue(64) -> ToDevice(out);`,
+		Devices:     []string{"in", "out"},
+		CPU:         0.5, Mem: 128,
+		ControlSocket: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ee.AvailableCPU() != 1.5 {
+		t.Errorf("available CPU = %v", ee.AvailableCPU())
+	}
+
+	// connectVNF both devices to s1.
+	inPort, err := ee.ConnectVNF(n, "fwd1", "in", "s1", LinkConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outPort, err := ee.ConnectVNF(n, "fwd1", "out", "s1", LinkConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inPort == outPort {
+		t.Errorf("devices share switch port %d", inPort)
+	}
+
+	// startVNF.
+	if err := ee.StartVNF("fwd1"); err != nil {
+		t.Fatal(err)
+	}
+	vnf := ee.VNF("fwd1")
+	if vnf.State != VNFRunning {
+		t.Fatalf("state = %s", vnf.State)
+	}
+	if vnf.ControlAddr() == "" {
+		t.Error("no control socket address")
+	}
+
+	// Push a frame directly into the switch on the VNF's in-port link:
+	// send via s1 → VNF in → VNF out → s1. Install a flow on s1 steering
+	// everything from the VNF's out-port to h2 so the frame completes the
+	// loop: use the h2 path by addressing h2's MAC (learning switch
+	// floods).
+	h1 := n.Node("h1").(*Host)
+	h2 := n.Node("h2").(*Host)
+	frame, _ := pkt.BuildUDP(h1.MAC(), h2.MAC(), h1.IP(), h2.IP(), 5, 6, []byte("via-vnf"))
+	// Inject into the VNF input directly (the device channel) to prove
+	// the data path: s1 port inPort → VNF.
+	s1 := n.Node("s1").(*SwitchNode)
+	s1.Switch().Input(outPort, frame) // arrives "from" the VNF out link? No: inject towards VNF via its in-port peer.
+
+	// The clean way: frames transmitted out of switch port inPort reach
+	// the VNF in device, traverse the Click graph and come back on
+	// outPort. Emulate the switch flooding by sending from h1: the
+	// learning controller floods to all ports including inPort.
+	h1.Send(frame)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		v, err := vnf.Router().ReadHandler("cnt.count")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != "0" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("VNF never saw the flooded frame")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// stopVNF releases resources.
+	if err := ee.StopVNF("fwd1"); err != nil {
+		t.Fatal(err)
+	}
+	if ee.AvailableCPU() != 2 {
+		t.Errorf("CPU not released: %v", ee.AvailableCPU())
+	}
+	if err := ee.StopVNF("fwd1"); err == nil {
+		t.Error("double stop accepted")
+	}
+}
+
+func TestEEAdmissionControl(t *testing.T) {
+	n := New("t", Options{})
+	ee, _ := n.AddEE("ee1", EEConfig{CPU: 1, Mem: 256, Isolation: IsolationCGroup})
+	defer n.Stop()
+	if _, err := ee.InitVNF(VNFSpec{Name: "big", ClickConfig: "Idle -> Discard;", CPU: 2}); err == nil {
+		t.Error("over-CPU VNF admitted")
+	}
+	if _, err := ee.InitVNF(VNFSpec{Name: "bigmem", ClickConfig: "Idle -> Discard;", Mem: 512}); err == nil {
+		t.Error("over-memory VNF admitted")
+	}
+	if _, err := ee.InitVNF(VNFSpec{Name: "ok", ClickConfig: "Idle -> Discard;", CPU: 0.5, Mem: 128}); err != nil {
+		t.Error(err)
+	}
+	if _, err := ee.InitVNF(VNFSpec{Name: "ok", ClickConfig: "Idle -> Discard;"}); err == nil {
+		t.Error("duplicate VNF admitted")
+	}
+}
+
+func TestEEInvalidOperations(t *testing.T) {
+	n := New("t", Options{})
+	n.AddSwitch("s1")
+	ee, _ := n.AddEE("ee1", EEConfig{})
+	defer n.Stop()
+	if err := ee.StartVNF("ghost"); err == nil {
+		t.Error("starting unknown VNF succeeded")
+	}
+	if _, err := ee.ConnectVNF(n, "ghost", "in", "s1", LinkConfig{}); err == nil {
+		t.Error("connecting unknown VNF succeeded")
+	}
+	ee.InitVNF(VNFSpec{Name: "v", ClickConfig: "FromDevice(in) -> Discard;", Devices: []string{"in"}})
+	if _, err := ee.ConnectVNF(n, "v", "nope", "s1", LinkConfig{}); err == nil {
+		t.Error("connecting unknown device succeeded")
+	}
+	if _, err := ee.ConnectVNF(n, "v", "in", "s1", LinkConfig{}); err != nil {
+		t.Error(err)
+	}
+	if _, err := ee.ConnectVNF(n, "v", "in", "s1", LinkConfig{}); err == nil {
+		t.Error("double connect succeeded")
+	}
+	if err := ee.DisconnectVNF("v", "in"); err != nil {
+		t.Error(err)
+	}
+	// Bad click config surfaces at StartVNF.
+	ee.InitVNF(VNFSpec{Name: "bad", ClickConfig: "syntax error ((("})
+	if err := ee.StartVNF("bad"); err == nil {
+		t.Error("bad config started")
+	}
+}
+
+func TestStartTwiceFails(t *testing.T) {
+	n := New("t", Options{})
+	n.AddHost("h1")
+	n.AddHost("h2")
+	n.AddLink("h1", "h2", LinkConfig{})
+	if err := n.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer n.Stop()
+	if err := n.Start(); err == nil {
+		t.Error("double start accepted")
+	}
+}
+
+func TestControllerTCPMode(t *testing.T) {
+	ctrl := pox.NewController()
+	ctrl.Register(pox.NewL2Learning())
+	if err := ctrl.ListenAndServe("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+	n := New("t", Options{Controller: ctrl, Mode: ControllerTCP})
+	if err := BuildSingle(n, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer n.Stop()
+	if len(ctrl.Connections()) != 1 {
+		t.Errorf("connections = %d", len(ctrl.Connections()))
+	}
+}

@@ -1,0 +1,590 @@
+package netem
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+	"sync"
+	"time"
+
+	"escape/internal/click"
+	"escape/internal/ofswitch"
+	"escape/internal/pkt"
+)
+
+const waitForSwitchesTimeout = 5 * time.Second
+
+// RxFrame is a frame delivered to a host port.
+type RxFrame struct {
+	Port  *Port
+	Frame []byte
+}
+
+// Host is an end system: it owns addressed ports, answers ARP and ICMP
+// echo automatically (a minimal host stack, enough for ping/iperf-style
+// tools), and hands every other frame to its consumer channel.
+type Host struct {
+	name string
+
+	mu    sync.Mutex
+	ports []*Port
+	rx    chan RxFrame
+	// AutoRespond controls the built-in ARP/ICMP-echo responder
+	// (default on).
+	autoRespondOff bool
+}
+
+// NodeName implements Node.
+func (h *Host) NodeName() string { return h.name }
+
+// Kind implements Node.
+func (*Host) Kind() NodeKind { return KindHost }
+
+// SetAutoRespond toggles the built-in ARP/ICMP responder.
+func (h *Host) SetAutoRespond(on bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.autoRespondOff = !on
+}
+
+func (h *Host) newPort(n *Network) (*Port, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.rx == nil {
+		h.rx = make(chan RxFrame, 1024)
+	}
+	idx := len(h.ports)
+	p := &Port{
+		Name: fmt.Sprintf("%s-eth%d", h.name, idx),
+		Node: h,
+		No:   uint16(idx),
+		MAC:  n.allocMAC(),
+		IP:   n.allocIP(),
+	}
+	p.recv = func(frame []byte) { h.input(p, frame) }
+	h.ports = append(h.ports, p)
+	return p, nil
+}
+
+// Port returns the host's i-th port, or nil.
+func (h *Host) Port(i int) *Port {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if i < 0 || i >= len(h.ports) {
+		return nil
+	}
+	return h.ports[i]
+}
+
+// IP returns the address of the host's first port (the common
+// single-homed case).
+func (h *Host) IP() netip.Addr {
+	if p := h.Port(0); p != nil {
+		return p.IP
+	}
+	return netip.Addr{}
+}
+
+// MAC returns the hardware address of the host's first port.
+func (h *Host) MAC() pkt.MAC {
+	if p := h.Port(0); p != nil {
+		return pkt.MAC(p.MAC)
+	}
+	return pkt.MAC{}
+}
+
+// Recv returns the channel of frames not handled by the built-in stack.
+func (h *Host) Recv() <-chan RxFrame {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.rx == nil {
+		h.rx = make(chan RxFrame, 1024)
+	}
+	return h.rx
+}
+
+// Send transmits a frame out of the host's first port.
+func (h *Host) Send(frame []byte) error {
+	p := h.Port(0)
+	if p == nil {
+		return fmt.Errorf("netem: host %s has no ports", h.name)
+	}
+	p.Send(frame)
+	return nil
+}
+
+func (h *Host) input(p *Port, frame []byte) {
+	h.mu.Lock()
+	auto := !h.autoRespondOff
+	rx := h.rx
+	h.mu.Unlock()
+	if auto && h.autoRespond(p, frame) {
+		return
+	}
+	select {
+	case rx <- RxFrame{Port: p, Frame: frame}:
+	default: // consumer not keeping up: drop, like a real socket buffer
+	}
+}
+
+// autoRespond implements the minimal host stack. It reports true when the
+// frame was consumed.
+func (h *Host) autoRespond(p *Port, frame []byte) bool {
+	dec := pkt.Decode(frame)
+	if a, ok := dec.Layer(pkt.LayerTypeARP).(*pkt.ARP); ok {
+		if a.Op == pkt.ARPRequest && a.TargetIP == p.IP {
+			reply, err := pkt.BuildARPReply(pkt.MAC(p.MAC), a.SenderMAC, p.IP, a.SenderIP)
+			if err == nil {
+				p.Send(reply)
+			}
+			return true
+		}
+		return false
+	}
+	ip := dec.IPv4Layer()
+	if ip == nil || ip.Dst != p.IP {
+		return false
+	}
+	if ic, ok := dec.Layer(pkt.LayerTypeICMP).(*pkt.ICMP); ok && ic.Type == pkt.ICMPEchoRequest {
+		eth := dec.Ethernet()
+		reply, err := pkt.BuildICMPEcho(pkt.MAC(p.MAC), eth.Src, p.IP, ip.Src,
+			pkt.ICMPEchoReply, ic.Ident, ic.Seq, ic.Payload())
+		if err == nil {
+			p.Send(reply)
+		}
+		return true
+	}
+	return false
+}
+
+// SwitchNode wraps an OpenFlow datapath as a topology node.
+type SwitchNode struct {
+	name string
+	sw   *ofswitch.Switch
+
+	mu       sync.Mutex
+	nextPort uint16
+}
+
+func newSwitchNode(name string, dpid uint64) *SwitchNode {
+	return &SwitchNode{
+		name: name,
+		sw:   ofswitch.New(name, dpid, ofswitch.Config{BufferSlots: 256}),
+	}
+}
+
+// NodeName implements Node.
+func (s *SwitchNode) NodeName() string { return s.name }
+
+// Kind implements Node.
+func (*SwitchNode) Kind() NodeKind { return KindSwitch }
+
+// DPID returns the datapath id.
+func (s *SwitchNode) DPID() uint64 { return s.sw.DPID() }
+
+// Switch exposes the underlying datapath.
+func (s *SwitchNode) Switch() *ofswitch.Switch { return s.sw }
+
+// Close stops the datapath.
+func (s *SwitchNode) Close() { s.sw.Stop() }
+
+func (s *SwitchNode) newPort(n *Network) (*Port, error) {
+	s.mu.Lock()
+	s.nextPort++
+	no := s.nextPort
+	s.mu.Unlock()
+	p := &Port{
+		Name: fmt.Sprintf("%s-eth%d", s.name, no),
+		Node: s,
+		No:   no,
+		MAC:  n.allocMAC(),
+	}
+	// Datapath → link.
+	err := s.sw.AddPort(&ofswitch.Port{
+		No:       no,
+		HWAddr:   pkt.MAC(p.MAC),
+		Name:     p.Name,
+		Transmit: func(frame []byte) { p.Send(frame) },
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Link → datapath.
+	p.recv = func(frame []byte) { s.sw.Input(no, frame) }
+	return p, nil
+}
+
+// IsolationMode selects how VNF processes are isolated inside an EE,
+// mirroring ESCAPE's configurable cgroup-based isolation.
+type IsolationMode int
+
+// Isolation modes. The cgroups analogue is the default, as in ESCAPE.
+const (
+	// IsolationCGroup enforces the EE's CPU/memory budget (admission
+	// control on InitVNF), the cgroups analogue.
+	IsolationCGroup IsolationMode = iota
+	// IsolationNone starts the VNF with no resource enforcement.
+	IsolationNone
+)
+
+// EEConfig sizes a VNF container.
+type EEConfig struct {
+	// CPU is the compute capacity in cores.
+	CPU float64
+	// Mem is the memory capacity in MB.
+	Mem int
+	// Isolation selects the enforcement mode (default IsolationCGroup).
+	Isolation IsolationMode
+}
+
+// VNFSpec describes a VNF to instantiate inside an EE.
+type VNFSpec struct {
+	// Name is the VNF instance name, unique within the EE.
+	Name string
+	// ClickConfig is the Click-language configuration.
+	ClickConfig string
+	// Devices lists the FromDevice/ToDevice names the config references.
+	Devices []string
+	// CPU/Mem are the resource demands charged against the EE.
+	CPU float64
+	Mem int
+	// ControlSocket starts a ClickControl server for monitoring when true.
+	ControlSocket bool
+}
+
+// VNFState is a VNF lifecycle state (mirrors the vnf_starter YANG model).
+type VNFState int
+
+// VNF lifecycle states.
+const (
+	VNFInitialized VNFState = iota
+	VNFRunning
+	VNFStopped
+)
+
+// String implements fmt.Stringer.
+func (s VNFState) String() string {
+	switch s {
+	case VNFInitialized:
+		return "INITIALIZED"
+	case VNFRunning:
+		return "RUNNING"
+	case VNFStopped:
+		return "STOPPED"
+	}
+	return "UNKNOWN"
+}
+
+// VNF is one network function instance inside an EE.
+type VNF struct {
+	Spec  VNFSpec
+	State VNFState
+
+	router  *click.Router
+	control *click.ControlSocket
+	devices map[string]*eeDevice
+	cancel  context.CancelFunc
+}
+
+// Router exposes the Click router (nil until started).
+func (v *VNF) Router() *click.Router { return v.router }
+
+// ControlAddr returns the ClickControl address ("" when disabled or not
+// running).
+func (v *VNF) ControlAddr() string {
+	if v.control == nil {
+		return ""
+	}
+	return v.control.Addr().String()
+}
+
+// eeDevice bridges a Click device to a netem port.
+type eeDevice struct {
+	name string
+	in   chan []byte
+	mu   sync.Mutex
+	port *Port // nil until connected to a switch
+}
+
+// DeviceName implements click.Device.
+func (d *eeDevice) DeviceName() string { return d.name }
+
+// Recv implements click.Device.
+func (d *eeDevice) Recv() <-chan []byte { return d.in }
+
+// Send implements click.Device.
+func (d *eeDevice) Send(frame []byte) error {
+	d.mu.Lock()
+	p := d.port
+	d.mu.Unlock()
+	if p == nil {
+		return fmt.Errorf("netem: device %s not connected", d.name)
+	}
+	p.Send(frame)
+	return nil
+}
+
+// EE is a VNF container (execution environment): Mininet-host-plus-cgroups
+// in the original, a resource-accounted Click hosting environment here.
+type EE struct {
+	name string
+	cfg  EEConfig
+
+	mu   sync.Mutex
+	vnfs map[string]*VNF
+	// port→device bindings for ports allocated by ConnectVNF.
+	pending []*eeDevice // devices awaiting a port at newPort time
+}
+
+func newEE(name string, cfg EEConfig) *EE {
+	if cfg.CPU <= 0 {
+		cfg.CPU = 1
+	}
+	if cfg.Mem <= 0 {
+		cfg.Mem = 512
+	}
+	return &EE{name: name, cfg: cfg, vnfs: map[string]*VNF{}}
+}
+
+// NodeName implements Node.
+func (e *EE) NodeName() string { return e.name }
+
+// Kind implements Node.
+func (*EE) Kind() NodeKind { return KindEE }
+
+// Config returns the EE's capacity.
+func (e *EE) Config() EEConfig { return e.cfg }
+
+// AvailableCPU returns uncommitted CPU capacity.
+func (e *EE) AvailableCPU() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.availableCPULocked()
+}
+
+func (e *EE) availableCPULocked() float64 {
+	used := 0.0
+	for _, v := range e.vnfs {
+		if v.State != VNFStopped {
+			used += v.Spec.CPU
+		}
+	}
+	return e.cfg.CPU - used
+}
+
+func (e *EE) availableMemLocked() int {
+	used := 0
+	for _, v := range e.vnfs {
+		if v.State != VNFStopped {
+			used += v.Spec.Mem
+		}
+	}
+	return e.cfg.Mem - used
+}
+
+// InitVNF creates a VNF in the INITIALIZED state: resources are admitted
+// and its devices exist, but no packets are processed until StartVNF.
+// This is the initiateVNF operation of the vnf_starter model.
+func (e *EE) InitVNF(spec VNFSpec) (*VNF, error) {
+	if spec.Name == "" {
+		return nil, fmt.Errorf("netem: VNF needs a name")
+	}
+	if spec.CPU < 0 || spec.Mem < 0 {
+		return nil, fmt.Errorf("netem: negative resource demand")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.vnfs[spec.Name]; dup {
+		return nil, fmt.Errorf("netem: VNF %q already exists in %s", spec.Name, e.name)
+	}
+	if e.cfg.Isolation == IsolationCGroup {
+		if spec.CPU > e.availableCPULocked() {
+			return nil, fmt.Errorf("netem: EE %s out of CPU (%.2f requested, %.2f available)",
+				e.name, spec.CPU, e.availableCPULocked())
+		}
+		if spec.Mem > e.availableMemLocked() {
+			return nil, fmt.Errorf("netem: EE %s out of memory (%d requested, %d available)",
+				e.name, spec.Mem, e.availableMemLocked())
+		}
+	}
+	v := &VNF{Spec: spec, State: VNFInitialized, devices: map[string]*eeDevice{}}
+	for _, d := range spec.Devices {
+		v.devices[d] = &eeDevice{name: d, in: make(chan []byte, 1024)}
+	}
+	e.vnfs[spec.Name] = v
+	return v, nil
+}
+
+// VNFNames returns the names of all VNFs in the EE.
+func (e *EE) VNFNames() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]string, 0, len(e.vnfs))
+	for name := range e.vnfs {
+		out = append(out, name)
+	}
+	return out
+}
+
+// VNF returns a VNF by name, or nil.
+func (e *EE) VNF(name string) *VNF {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.vnfs[name]
+}
+
+// ConnectVNF wires a VNF device to a switch by creating a link between
+// this EE and the switch; it returns the switch-side port number (needed
+// by the steering layer). The connectVNF RPC of the vnf_starter model.
+func (e *EE) ConnectVNF(n *Network, vnfName, devName, switchName string, cfg LinkConfig) (uint16, error) {
+	e.mu.Lock()
+	v := e.vnfs[vnfName]
+	if v == nil {
+		e.mu.Unlock()
+		return 0, fmt.Errorf("netem: no VNF %q in %s", vnfName, e.name)
+	}
+	dev := v.devices[devName]
+	if dev == nil {
+		e.mu.Unlock()
+		return 0, fmt.Errorf("netem: VNF %q has no device %q", vnfName, devName)
+	}
+	dev.mu.Lock()
+	connected := dev.port != nil
+	dev.mu.Unlock()
+	if connected {
+		e.mu.Unlock()
+		return 0, fmt.Errorf("netem: device %s/%s already connected", vnfName, devName)
+	}
+	e.pending = append(e.pending, dev)
+	e.mu.Unlock()
+
+	link, err := n.AddLink(e.name, switchName, cfg)
+	if err != nil {
+		e.mu.Lock()
+		e.pending = e.pending[:len(e.pending)-1]
+		e.mu.Unlock()
+		return 0, err
+	}
+	eePort, swPort := link.A, link.B
+	if eePort.Node != Node(e) {
+		eePort, swPort = swPort, eePort
+	}
+	dev.mu.Lock()
+	dev.port = eePort
+	dev.mu.Unlock()
+	return swPort.No, nil
+}
+
+// DisconnectVNF detaches a device from its port (frames are dropped until
+// reconnected). The disconnectVNF RPC.
+func (e *EE) DisconnectVNF(vnfName, devName string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	v := e.vnfs[vnfName]
+	if v == nil {
+		return fmt.Errorf("netem: no VNF %q in %s", vnfName, e.name)
+	}
+	dev := v.devices[devName]
+	if dev == nil {
+		return fmt.Errorf("netem: VNF %q has no device %q", vnfName, devName)
+	}
+	dev.mu.Lock()
+	dev.port = nil
+	dev.mu.Unlock()
+	return nil
+}
+
+// newPort binds the next pending ConnectVNF device: frames arriving from
+// the switch flow into that device's channel.
+func (e *EE) newPort(n *Network) (*Port, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.pending) == 0 {
+		return nil, fmt.Errorf("netem: EE %s ports are created via ConnectVNF", e.name)
+	}
+	dev := e.pending[0]
+	e.pending = e.pending[1:]
+	p := &Port{
+		Name: fmt.Sprintf("%s-%s", e.name, dev.name),
+		Node: e,
+		MAC:  n.allocMAC(),
+	}
+	p.recv = func(frame []byte) {
+		select {
+		case dev.in <- frame:
+		default: // VNF not draining: drop like a full NIC ring
+		}
+	}
+	return p, nil
+}
+
+// StartVNF builds the Click router and starts its driver. The startVNF
+// RPC.
+func (e *EE) StartVNF(name string) error {
+	e.mu.Lock()
+	v := e.vnfs[name]
+	e.mu.Unlock()
+	if v == nil {
+		return fmt.Errorf("netem: no VNF %q in %s", name, e.name)
+	}
+	if v.State == VNFRunning {
+		return fmt.Errorf("netem: VNF %q already running", name)
+	}
+	devices := map[string]click.Device{}
+	for dn, d := range v.devices {
+		devices[dn] = d
+	}
+	router, err := click.NewRouter(e.name+"/"+name, v.Spec.ClickConfig, click.Options{Devices: devices})
+	if err != nil {
+		return fmt.Errorf("netem: building VNF %q: %w", name, err)
+	}
+	v.router = router
+	if v.Spec.ControlSocket {
+		cs, err := click.NewControlSocket(router, "127.0.0.1:0")
+		if err != nil {
+			return fmt.Errorf("netem: control socket for %q: %w", name, err)
+		}
+		v.control = cs
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	v.cancel = cancel
+	go router.Run(ctx)
+	v.State = VNFRunning
+	return nil
+}
+
+// StopVNF halts a running VNF and releases its resources. The stopVNF RPC.
+func (e *EE) StopVNF(name string) error {
+	e.mu.Lock()
+	v := e.vnfs[name]
+	e.mu.Unlock()
+	if v == nil {
+		return fmt.Errorf("netem: no VNF %q in %s", name, e.name)
+	}
+	if v.State != VNFRunning {
+		return fmt.Errorf("netem: VNF %q is not running", name)
+	}
+	if v.control != nil {
+		v.control.Close()
+		v.control = nil
+	}
+	v.cancel()
+	v.router.Stop()
+	v.State = VNFStopped
+	return nil
+}
+
+// Close stops all running VNFs.
+func (e *EE) Close() {
+	e.mu.Lock()
+	names := make([]string, 0, len(e.vnfs))
+	for n, v := range e.vnfs {
+		if v.State == VNFRunning {
+			names = append(names, n)
+		}
+	}
+	e.mu.Unlock()
+	for _, n := range names {
+		_ = e.StopVNF(n)
+	}
+}

@@ -1,0 +1,91 @@
+package netem
+
+import (
+	"fmt"
+)
+
+// Topology generators mirroring Mininet's built-in topologies
+// (--topo single/linear/tree), used by the scale experiments (E3) and the
+// examples.
+
+// BuildSingle creates one switch with n hosts: h1..hn — s1.
+func BuildSingle(net_ *Network, n int) error {
+	if n < 1 {
+		return fmt.Errorf("netem: single topology needs ≥1 host")
+	}
+	if _, err := net_.AddSwitch("s1"); err != nil {
+		return err
+	}
+	for i := 1; i <= n; i++ {
+		h := fmt.Sprintf("h%d", i)
+		if _, err := net_.AddHost(h); err != nil {
+			return err
+		}
+		if _, err := net_.AddLink(h, "s1", LinkConfig{}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BuildLinear creates n switches in a chain, one host per switch:
+// h1—s1—s2—…—sn—hn.
+func BuildLinear(net_ *Network, n int) error {
+	if n < 1 {
+		return fmt.Errorf("netem: linear topology needs ≥1 switch")
+	}
+	for i := 1; i <= n; i++ {
+		s := fmt.Sprintf("s%d", i)
+		h := fmt.Sprintf("h%d", i)
+		if _, err := net_.AddSwitch(s); err != nil {
+			return err
+		}
+		if _, err := net_.AddHost(h); err != nil {
+			return err
+		}
+		if _, err := net_.AddLink(h, s, LinkConfig{}); err != nil {
+			return err
+		}
+		if i > 1 {
+			if _, err := net_.AddLink(fmt.Sprintf("s%d", i-1), s, LinkConfig{}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// BuildTree creates a full fanout-ary switch tree of the given depth with
+// hosts at the leaves (Mininet's --topo tree,depth,fanout).
+func BuildTree(net_ *Network, depth, fanout int) error {
+	if depth < 1 || fanout < 1 {
+		return fmt.Errorf("netem: tree topology needs depth ≥1 and fanout ≥1")
+	}
+	var hostSeq, swSeq int
+	var build func(level int) (string, error)
+	build = func(level int) (string, error) {
+		if level == depth {
+			hostSeq++
+			name := fmt.Sprintf("h%d", hostSeq)
+			_, err := net_.AddHost(name)
+			return name, err
+		}
+		swSeq++
+		name := fmt.Sprintf("s%d", swSeq)
+		if _, err := net_.AddSwitch(name); err != nil {
+			return "", err
+		}
+		for i := 0; i < fanout; i++ {
+			child, err := build(level + 1)
+			if err != nil {
+				return "", err
+			}
+			if _, err := net_.AddLink(name, child, LinkConfig{}); err != nil {
+				return "", err
+			}
+		}
+		return name, nil
+	}
+	_, err := build(0)
+	return err
+}

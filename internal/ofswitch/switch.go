@@ -1,0 +1,535 @@
+package ofswitch
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"escape/internal/openflow"
+	"escape/internal/pkt"
+)
+
+// Port is one switch port. Transmit is wired by the network emulator to
+// the attached link; counters feed port-stats replies.
+type Port struct {
+	No     uint16
+	HWAddr pkt.MAC
+	Name   string
+	// Transmit sends a frame out of this port. Must be non-blocking or
+	// fast; netem link queues satisfy this.
+	Transmit func(frame []byte)
+
+	rxPackets, txPackets atomic.Uint64
+	rxBytes, txBytes     atomic.Uint64
+	rxDropped, txDropped atomic.Uint64
+}
+
+// Stats snapshots the port counters.
+func (p *Port) Stats() openflow.PortStats {
+	return openflow.PortStats{
+		PortNo:    p.No,
+		RxPackets: p.rxPackets.Load(),
+		TxPackets: p.txPackets.Load(),
+		RxBytes:   p.rxBytes.Load(),
+		TxBytes:   p.txBytes.Load(),
+		RxDropped: p.rxDropped.Load(),
+		TxDropped: p.txDropped.Load(),
+	}
+}
+
+// Config tunes switch behaviour.
+type Config struct {
+	// MissSendLen is how many bytes of a table-miss packet to embed in
+	// PACKET_IN when buffering (OpenFlow default 128).
+	MissSendLen int
+	// BufferSlots is the packet buffer size for PACKET_IN buffer ids;
+	// 0 disables buffering (full frames in every PACKET_IN).
+	BufferSlots int
+	// SweepInterval is the flow-timeout sweep period (default 100ms).
+	SweepInterval time.Duration
+}
+
+// Switch is an OpenFlow 1.0 datapath.
+type Switch struct {
+	name string
+	dpid uint64
+	cfg  Config
+
+	mu    sync.RWMutex
+	ports map[uint16]*Port
+	table *FlowTable
+
+	connMu sync.Mutex // guards conn and outCh swap
+	conn   net.Conn
+	outCh  chan []byte // encoded messages, drained by the writer goroutine
+	xid    atomic.Uint32
+
+	bufMu   sync.Mutex
+	buffers map[uint32]bufferedPacket
+	nextBuf uint32
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+
+	// TableMisses counts packets sent to the controller for lack of a
+	// matching entry (observability for benches).
+	TableMisses atomic.Uint64
+}
+
+type bufferedPacket struct {
+	frame  []byte
+	inPort uint16
+}
+
+// New creates a switch with the given datapath id.
+func New(name string, dpid uint64, cfg Config) *Switch {
+	if cfg.MissSendLen <= 0 {
+		cfg.MissSendLen = 128
+	}
+	if cfg.SweepInterval <= 0 {
+		cfg.SweepInterval = 100 * time.Millisecond
+	}
+	if cfg.BufferSlots < 0 {
+		cfg.BufferSlots = 0
+	}
+	s := &Switch{
+		name:    name,
+		dpid:    dpid,
+		cfg:     cfg,
+		ports:   map[uint16]*Port{},
+		buffers: map[uint32]bufferedPacket{},
+		stopCh:  make(chan struct{}),
+	}
+	s.table = NewFlowTable(s.flowRemoved)
+	go s.sweepLoop()
+	return s
+}
+
+// Name returns the switch name (e.g. "s1").
+func (s *Switch) Name() string { return s.name }
+
+// DPID returns the datapath id.
+func (s *Switch) DPID() uint64 { return s.dpid }
+
+// Table exposes the flow table (tests, stats, debugging).
+func (s *Switch) Table() *FlowTable { return s.table }
+
+// AddPort registers a port. Safe before or after controller connection;
+// a PORT_STATUS add is announced when connected.
+func (s *Switch) AddPort(p *Port) error {
+	if p.Transmit == nil {
+		return fmt.Errorf("ofswitch: port %d has no transmit function", p.No)
+	}
+	if p.No == 0 || p.No >= openflow.PortMax {
+		return fmt.Errorf("ofswitch: invalid port number %d", p.No)
+	}
+	s.mu.Lock()
+	if _, dup := s.ports[p.No]; dup {
+		s.mu.Unlock()
+		return fmt.Errorf("ofswitch: duplicate port %d", p.No)
+	}
+	s.ports[p.No] = p
+	s.mu.Unlock()
+	s.sendAsync(&openflow.PortStatus{
+		Reason: openflow.PortReasonAdd,
+		Desc:   openflow.PhyPort{PortNo: p.No, HWAddr: p.HWAddr, Name: p.Name},
+	})
+	return nil
+}
+
+// PortCount reports the number of ports.
+func (s *Switch) PortCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.ports)
+}
+
+// PortStats snapshots all port counters ordered by port number.
+func (s *Switch) PortStats() []openflow.PortStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]openflow.PortStats, 0, len(s.ports))
+	for _, p := range s.ports {
+		out = append(out, p.Stats())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PortNo < out[j].PortNo })
+	return out
+}
+
+// Input is the data-plane entry point: a frame arrived on port no. It is
+// called by netem link delivery goroutines.
+func (s *Switch) Input(no uint16, frame []byte) {
+	s.mu.RLock()
+	port := s.ports[no]
+	s.mu.RUnlock()
+	if port == nil {
+		return
+	}
+	port.rxPackets.Add(1)
+	port.rxBytes.Add(uint64(len(frame)))
+
+	fields, err := openflow.ExtractFields(frame, no)
+	if err != nil {
+		port.rxDropped.Add(1)
+		return
+	}
+	entry := s.table.Lookup(fields, len(frame))
+	if entry == nil {
+		s.TableMisses.Add(1)
+		s.packetToController(frame, no, openflow.ReasonNoMatch)
+		return
+	}
+	s.applyActions(entry.Actions, frame, no)
+}
+
+// applyActions runs an action list on a frame arriving on inPort.
+func (s *Switch) applyActions(actions []openflow.Action, frame []byte, inPort uint16) {
+	// Copy once: set-field actions mutate, and the same underlying frame
+	// may be queued elsewhere.
+	work := make([]byte, len(frame))
+	copy(work, frame)
+	for _, a := range actions {
+		switch act := a.(type) {
+		case openflow.ActionOutput:
+			s.output(act.Port, work, inPort, act.MaxLen)
+		case openflow.ActionSetVLAN:
+			if out, err := pkt.PushVLAN(work, act.VLAN); err == nil {
+				work = out
+			}
+		case openflow.ActionStripVLAN:
+			if out, err := pkt.PopVLAN(work); err == nil {
+				work = out
+			}
+		case openflow.ActionSetDL:
+			pkt.SetDLAddr(work, act.Dst, act.MAC)
+		case openflow.ActionSetNW:
+			pkt.SetNWAddr(work, act.Dst, act.Addr)
+		case openflow.ActionSetTP:
+			pkt.SetTPPort(work, act.Dst, act.Port)
+		}
+	}
+}
+
+// output transmits work out of an (possibly special) port.
+func (s *Switch) output(port uint16, work []byte, inPort uint16, maxLen uint16) {
+	// Each transmission gets its own copy: downstream consumers own it.
+	send := func(p *Port) {
+		frame := make([]byte, len(work))
+		copy(frame, work)
+		p.txPackets.Add(1)
+		p.txBytes.Add(uint64(len(frame)))
+		p.Transmit(frame)
+	}
+	switch {
+	case port == openflow.PortController:
+		limit := int(maxLen)
+		if limit <= 0 || limit > len(work) {
+			limit = len(work)
+		}
+		s.packetToControllerRaw(work[:limit], len(work), inPort, openflow.ReasonAction, openflow.NoBuffer)
+	case port == openflow.PortInPort:
+		s.mu.RLock()
+		p := s.ports[inPort]
+		s.mu.RUnlock()
+		if p != nil {
+			send(p)
+		}
+	case port == openflow.PortFlood, port == openflow.PortAll:
+		s.mu.RLock()
+		targets := make([]*Port, 0, len(s.ports))
+		for no, p := range s.ports {
+			if no != inPort {
+				targets = append(targets, p)
+			}
+		}
+		s.mu.RUnlock()
+		for _, p := range targets {
+			send(p)
+		}
+	case port < openflow.PortMax:
+		s.mu.RLock()
+		p := s.ports[port]
+		s.mu.RUnlock()
+		if p != nil {
+			send(p)
+		}
+	}
+}
+
+// packetToController emits PACKET_IN, buffering the frame when enabled.
+func (s *Switch) packetToController(frame []byte, inPort uint16, reason uint8) {
+	bufID := openflow.NoBuffer
+	data := frame
+	if s.cfg.BufferSlots > 0 {
+		s.bufMu.Lock()
+		// Reclaim a slot ring-style.
+		id := s.nextBuf
+		s.nextBuf = (s.nextBuf + 1) % uint32(s.cfg.BufferSlots)
+		stored := make([]byte, len(frame))
+		copy(stored, frame)
+		s.buffers[id] = bufferedPacket{frame: stored, inPort: inPort}
+		s.bufMu.Unlock()
+		bufID = id
+		if len(frame) > s.cfg.MissSendLen {
+			data = frame[:s.cfg.MissSendLen]
+		}
+	}
+	s.packetToControllerRaw(data, len(frame), inPort, reason, bufID)
+}
+
+func (s *Switch) packetToControllerRaw(data []byte, totalLen int, inPort uint16, reason uint8, bufID uint32) {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	s.sendAsync(&openflow.PacketIn{
+		BufferID: bufID,
+		TotalLen: uint16(totalLen),
+		InPort:   inPort,
+		Reason:   reason,
+		Data:     cp,
+	})
+}
+
+func (s *Switch) takeBuffer(id uint32) (bufferedPacket, bool) {
+	if id == openflow.NoBuffer {
+		return bufferedPacket{}, false
+	}
+	s.bufMu.Lock()
+	defer s.bufMu.Unlock()
+	bp, ok := s.buffers[id]
+	if ok {
+		delete(s.buffers, id)
+	}
+	return bp, ok
+}
+
+func (s *Switch) flowRemoved(e *FlowEntry, reason uint8) {
+	dur := time.Since(e.Created)
+	s.sendAsync(&openflow.FlowRemoved{
+		Match:        e.Match,
+		Cookie:       e.Cookie,
+		Priority:     e.Priority,
+		Reason:       reason,
+		DurationSec:  uint32(dur.Seconds()),
+		DurationNsec: uint32(dur.Nanoseconds() % 1e9),
+		IdleTimeout:  uint16(e.IdleTimeout.Seconds()),
+		PacketCount:  e.Packets,
+		ByteCount:    e.Bytes,
+	})
+}
+
+func (s *Switch) sweepLoop() {
+	ticker := time.NewTicker(s.cfg.SweepInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case now := <-ticker.C:
+			s.table.Sweep(now)
+		}
+	}
+}
+
+// Stop halts background work and closes the controller connection.
+func (s *Switch) Stop() {
+	s.stopOnce.Do(func() {
+		close(s.stopCh)
+		s.connMu.Lock()
+		if s.conn != nil {
+			s.conn.Close()
+		}
+		s.connMu.Unlock()
+	})
+}
+
+// --- control channel ---
+
+// ConnectController performs the OpenFlow handshake over conn and starts
+// the message loop. It returns after the handshake (HELLO exchange)
+// completes; FEATURES negotiation happens inside the loop.
+//
+// All switch→controller writes flow through an asynchronous outbox so the
+// control loop never blocks on a write: required for synchronous
+// transports like net.Pipe and protective against slow controllers.
+func (s *Switch) ConnectController(conn net.Conn) error {
+	outCh := make(chan []byte, 1024)
+	s.connMu.Lock()
+	s.conn = conn
+	s.outCh = outCh
+	s.connMu.Unlock()
+	go s.writeLoop(conn, outCh)
+	if err := s.send(&openflow.Hello{}); err != nil {
+		return fmt.Errorf("ofswitch: sending hello: %w", err)
+	}
+	msg, _, err := openflow.ReadMessage(conn)
+	if err != nil {
+		return fmt.Errorf("ofswitch: reading hello: %w", err)
+	}
+	if msg.MsgType() != openflow.TypeHello {
+		return fmt.Errorf("ofswitch: expected HELLO, got %s", msg.MsgType())
+	}
+	go s.controlLoop(conn)
+	return nil
+}
+
+func (s *Switch) writeLoop(conn net.Conn, outCh chan []byte) {
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case buf := <-outCh:
+			if _, err := conn.Write(buf); err != nil {
+				return
+			}
+		}
+	}
+}
+
+func (s *Switch) controlLoop(conn net.Conn) {
+	for {
+		msg, h, err := openflow.ReadMessage(conn)
+		if err != nil {
+			return
+		}
+		s.handleMessage(msg, h)
+	}
+}
+
+func (s *Switch) handleMessage(msg openflow.Message, h openflow.Header) {
+	switch m := msg.(type) {
+	case *openflow.EchoRequest:
+		s.sendXID(&openflow.EchoReply{Data: m.Data}, h.XID)
+	case *openflow.FeaturesRequest:
+		s.mu.RLock()
+		ports := make([]openflow.PhyPort, 0, len(s.ports))
+		for _, p := range s.ports {
+			ports = append(ports, openflow.PhyPort{PortNo: p.No, HWAddr: p.HWAddr, Name: p.Name})
+		}
+		s.mu.RUnlock()
+		sort.Slice(ports, func(i, j int) bool { return ports[i].PortNo < ports[j].PortNo })
+		s.sendXID(&openflow.FeaturesReply{
+			DatapathID: s.dpid,
+			NBuffers:   uint32(s.cfg.BufferSlots),
+			NTables:    1,
+			Ports:      ports,
+		}, h.XID)
+	case *openflow.FlowMod:
+		s.handleFlowMod(m, h)
+	case *openflow.PacketOut:
+		data := m.Data
+		inPort := m.InPort
+		if m.BufferID != openflow.NoBuffer {
+			if bp, ok := s.takeBuffer(m.BufferID); ok {
+				data = bp.frame
+				if inPort == openflow.PortNone {
+					inPort = bp.inPort
+				}
+			}
+		}
+		if len(data) > 0 {
+			s.applyActions(m.Actions, data, inPort)
+		}
+	case *openflow.StatsRequest:
+		s.handleStats(m, h)
+	case *openflow.BarrierRequest:
+		// Message handling is serialized on this goroutine, so every
+		// preceding message has completed by now.
+		s.sendXID(&openflow.BarrierReply{}, h.XID)
+	}
+}
+
+func (s *Switch) handleFlowMod(m *openflow.FlowMod, h openflow.Header) {
+	switch m.Command {
+	case openflow.FCAdd:
+		s.table.Add(&FlowEntry{
+			Match:       m.Match,
+			Priority:    m.Priority,
+			Cookie:      m.Cookie,
+			IdleTimeout: time.Duration(m.IdleTimeout) * time.Second,
+			HardTimeout: time.Duration(m.HardTimeout) * time.Second,
+			Flags:       m.Flags,
+			Actions:     m.Actions,
+		})
+		// ADD with a buffer id also releases the buffered packet through
+		// the new actions.
+		if bp, ok := s.takeBuffer(m.BufferID); ok {
+			s.applyActions(m.Actions, bp.frame, bp.inPort)
+		}
+	case openflow.FCModify, openflow.FCModifyStrict:
+		s.table.Modify(m.Match, m.Priority, m.Actions, m.Command == openflow.FCModifyStrict)
+	case openflow.FCDelete, openflow.FCDeleteStrict:
+		s.table.Delete(m.Match, m.Priority, m.Command == openflow.FCDeleteStrict)
+	default:
+		s.sendXID(&openflow.Error{ErrType: openflow.ErrTypeFlowModFailed, Code: 0}, h.XID)
+	}
+}
+
+func (s *Switch) handleStats(m *openflow.StatsRequest, h openflow.Header) {
+	reply := &openflow.StatsReply{StatsType: m.StatsType}
+	switch m.StatsType {
+	case openflow.StatsFlow:
+		for _, e := range s.table.Entries() {
+			if !subsumes(m.Match, e.Match) {
+				continue
+			}
+			reply.Flows = append(reply.Flows, openflow.FlowStats{
+				Match:       e.Match,
+				DurationSec: uint32(time.Since(e.Created).Seconds()),
+				Priority:    e.Priority,
+				IdleTimeout: uint16(e.IdleTimeout.Seconds()),
+				HardTimeout: uint16(e.HardTimeout.Seconds()),
+				Cookie:      e.Cookie,
+				PacketCount: e.Packets,
+				ByteCount:   e.Bytes,
+				Actions:     e.Actions,
+			})
+		}
+	case openflow.StatsAggregate:
+		reply.Aggregate = s.table.Aggregate(m.Match)
+	case openflow.StatsPort:
+		if m.PortNo == openflow.PortNone {
+			reply.Ports = s.PortStats()
+		} else {
+			s.mu.RLock()
+			p := s.ports[m.PortNo]
+			s.mu.RUnlock()
+			if p != nil {
+				reply.Ports = []openflow.PortStats{p.Stats()}
+			}
+		}
+	default:
+		s.sendXID(&openflow.Error{ErrType: openflow.ErrTypeBadRequest, Code: 0}, h.XID)
+		return
+	}
+	s.sendXID(reply, h.XID)
+}
+
+func (s *Switch) send(msg openflow.Message) error {
+	return s.sendXID(msg, s.xid.Add(1))
+}
+
+func (s *Switch) sendXID(msg openflow.Message, xid uint32) error {
+	s.connMu.Lock()
+	outCh := s.outCh
+	s.connMu.Unlock()
+	if outCh == nil {
+		return fmt.Errorf("ofswitch: not connected")
+	}
+	select {
+	case outCh <- openflow.Encode(msg, xid):
+		return nil
+	default:
+		// A full outbox means the controller stopped draining; dropping
+		// beats deadlocking the data path.
+		return fmt.Errorf("ofswitch: control outbox full, dropping %s", msg.MsgType())
+	}
+}
+
+// sendAsync sends when connected and silently drops otherwise (events
+// raised before the controller attaches).
+func (s *Switch) sendAsync(msg openflow.Message) {
+	_ = s.send(msg)
+}

@@ -1,0 +1,626 @@
+package openflow
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"escape/internal/pkt"
+)
+
+// Hello opens version negotiation.
+type Hello struct{}
+
+// MsgType implements Message.
+func (*Hello) MsgType() MsgType             { return TypeHello }
+func (*Hello) encodeBody(b []byte) []byte   { return b }
+func (*Hello) decodeBody(data []byte) error { return nil }
+
+// EchoRequest is a liveness probe; the peer echoes Data back.
+type EchoRequest struct{ Data []byte }
+
+// MsgType implements Message.
+func (*EchoRequest) MsgType() MsgType             { return TypeEchoRequest }
+func (m *EchoRequest) encodeBody(b []byte) []byte { return append(b, m.Data...) }
+func (m *EchoRequest) decodeBody(data []byte) error {
+	m.Data = append([]byte(nil), data...)
+	return nil
+}
+
+// EchoReply answers an EchoRequest.
+type EchoReply struct{ Data []byte }
+
+// MsgType implements Message.
+func (*EchoReply) MsgType() MsgType             { return TypeEchoReply }
+func (m *EchoReply) encodeBody(b []byte) []byte { return append(b, m.Data...) }
+func (m *EchoReply) decodeBody(data []byte) error {
+	m.Data = append([]byte(nil), data...)
+	return nil
+}
+
+// Error reports a protocol error.
+type Error struct {
+	ErrType uint16
+	Code    uint16
+	Data    []byte
+}
+
+// MsgType implements Message.
+func (*Error) MsgType() MsgType { return TypeError }
+
+func (m *Error) encodeBody(b []byte) []byte {
+	buf := make([]byte, 4)
+	binary.BigEndian.PutUint16(buf[0:2], m.ErrType)
+	binary.BigEndian.PutUint16(buf[2:4], m.Code)
+	return append(append(b, buf...), m.Data...)
+}
+
+func (m *Error) decodeBody(data []byte) error {
+	if len(data) < 4 {
+		return fmt.Errorf("error body too short")
+	}
+	m.ErrType = binary.BigEndian.Uint16(data[0:2])
+	m.Code = binary.BigEndian.Uint16(data[2:4])
+	m.Data = append([]byte(nil), data[4:]...)
+	return nil
+}
+
+// FeaturesRequest asks the switch for its datapath description.
+type FeaturesRequest struct{}
+
+// MsgType implements Message.
+func (*FeaturesRequest) MsgType() MsgType             { return TypeFeaturesRequest }
+func (*FeaturesRequest) encodeBody(b []byte) []byte   { return b }
+func (*FeaturesRequest) decodeBody(data []byte) error { return nil }
+
+// PhyPort describes one switch port (ofp_phy_port).
+type PhyPort struct {
+	PortNo uint16
+	HWAddr pkt.MAC
+	Name   string // max 15 chars on the wire
+}
+
+const phyPortLen = 48
+
+func (p *PhyPort) encode(b []byte) []byte {
+	buf := make([]byte, phyPortLen)
+	binary.BigEndian.PutUint16(buf[0:2], p.PortNo)
+	copy(buf[2:8], p.HWAddr[:])
+	copy(buf[8:24], p.Name)
+	return append(b, buf...)
+}
+
+func (p *PhyPort) decode(data []byte) error {
+	if len(data) < phyPortLen {
+		return fmt.Errorf("phy_port too short")
+	}
+	p.PortNo = binary.BigEndian.Uint16(data[0:2])
+	copy(p.HWAddr[:], data[2:8])
+	name := data[8:24]
+	for i, c := range name {
+		if c == 0 {
+			name = name[:i]
+			break
+		}
+	}
+	p.Name = string(name)
+	return nil
+}
+
+// FeaturesReply describes the datapath.
+type FeaturesReply struct {
+	DatapathID   uint64
+	NBuffers     uint32
+	NTables      uint8
+	Capabilities uint32
+	Actions      uint32
+	Ports        []PhyPort
+}
+
+// MsgType implements Message.
+func (*FeaturesReply) MsgType() MsgType { return TypeFeaturesReply }
+
+func (m *FeaturesReply) encodeBody(b []byte) []byte {
+	buf := make([]byte, 24)
+	binary.BigEndian.PutUint64(buf[0:8], m.DatapathID)
+	binary.BigEndian.PutUint32(buf[8:12], m.NBuffers)
+	buf[12] = m.NTables
+	binary.BigEndian.PutUint32(buf[16:20], m.Capabilities)
+	binary.BigEndian.PutUint32(buf[20:24], m.Actions)
+	b = append(b, buf...)
+	for i := range m.Ports {
+		b = m.Ports[i].encode(b)
+	}
+	return b
+}
+
+func (m *FeaturesReply) decodeBody(data []byte) error {
+	if len(data) < 24 {
+		return fmt.Errorf("features reply too short")
+	}
+	m.DatapathID = binary.BigEndian.Uint64(data[0:8])
+	m.NBuffers = binary.BigEndian.Uint32(data[8:12])
+	m.NTables = data[12]
+	m.Capabilities = binary.BigEndian.Uint32(data[16:20])
+	m.Actions = binary.BigEndian.Uint32(data[20:24])
+	data = data[24:]
+	if len(data)%phyPortLen != 0 {
+		return fmt.Errorf("trailing bytes in port list")
+	}
+	for len(data) > 0 {
+		var p PhyPort
+		if err := p.decode(data); err != nil {
+			return err
+		}
+		m.Ports = append(m.Ports, p)
+		data = data[phyPortLen:]
+	}
+	return nil
+}
+
+// PacketIn delivers a data-plane packet to the controller.
+type PacketIn struct {
+	BufferID uint32
+	TotalLen uint16
+	InPort   uint16
+	Reason   uint8
+	Data     []byte
+}
+
+// MsgType implements Message.
+func (*PacketIn) MsgType() MsgType { return TypePacketIn }
+
+func (m *PacketIn) encodeBody(b []byte) []byte {
+	buf := make([]byte, 10)
+	binary.BigEndian.PutUint32(buf[0:4], m.BufferID)
+	binary.BigEndian.PutUint16(buf[4:6], m.TotalLen)
+	binary.BigEndian.PutUint16(buf[6:8], m.InPort)
+	buf[8] = m.Reason
+	return append(append(b, buf...), m.Data...)
+}
+
+func (m *PacketIn) decodeBody(data []byte) error {
+	if len(data) < 10 {
+		return fmt.Errorf("packet-in too short")
+	}
+	m.BufferID = binary.BigEndian.Uint32(data[0:4])
+	m.TotalLen = binary.BigEndian.Uint16(data[4:6])
+	m.InPort = binary.BigEndian.Uint16(data[6:8])
+	m.Reason = data[8]
+	m.Data = append([]byte(nil), data[10:]...)
+	return nil
+}
+
+// PacketOut injects a packet into the datapath.
+type PacketOut struct {
+	BufferID uint32
+	InPort   uint16
+	Actions  []Action
+	Data     []byte // ignored unless BufferID == NoBuffer
+}
+
+// MsgType implements Message.
+func (*PacketOut) MsgType() MsgType { return TypePacketOut }
+
+func (m *PacketOut) encodeBody(b []byte) []byte {
+	actions := encodeActions(nil, m.Actions)
+	buf := make([]byte, 8)
+	binary.BigEndian.PutUint32(buf[0:4], m.BufferID)
+	binary.BigEndian.PutUint16(buf[4:6], m.InPort)
+	binary.BigEndian.PutUint16(buf[6:8], uint16(len(actions)))
+	b = append(b, buf...)
+	b = append(b, actions...)
+	return append(b, m.Data...)
+}
+
+func (m *PacketOut) decodeBody(data []byte) error {
+	if len(data) < 8 {
+		return fmt.Errorf("packet-out too short")
+	}
+	m.BufferID = binary.BigEndian.Uint32(data[0:4])
+	m.InPort = binary.BigEndian.Uint16(data[4:6])
+	alen := int(binary.BigEndian.Uint16(data[6:8]))
+	if len(data) < 8+alen {
+		return fmt.Errorf("packet-out actions truncated")
+	}
+	actions, err := decodeActions(data[8 : 8+alen])
+	if err != nil {
+		return err
+	}
+	m.Actions = actions
+	m.Data = append([]byte(nil), data[8+alen:]...)
+	return nil
+}
+
+// FlowMod adds, modifies or deletes flow-table entries.
+type FlowMod struct {
+	Match       Match
+	Cookie      uint64
+	Command     uint16
+	IdleTimeout uint16
+	HardTimeout uint16
+	Priority    uint16
+	BufferID    uint32
+	OutPort     uint16
+	Flags       uint16
+	Actions     []Action
+}
+
+// MsgType implements Message.
+func (*FlowMod) MsgType() MsgType { return TypeFlowMod }
+
+func (m *FlowMod) encodeBody(b []byte) []byte {
+	b = m.Match.encode(b)
+	buf := make([]byte, 24)
+	binary.BigEndian.PutUint64(buf[0:8], m.Cookie)
+	binary.BigEndian.PutUint16(buf[8:10], m.Command)
+	binary.BigEndian.PutUint16(buf[10:12], m.IdleTimeout)
+	binary.BigEndian.PutUint16(buf[12:14], m.HardTimeout)
+	binary.BigEndian.PutUint16(buf[14:16], m.Priority)
+	binary.BigEndian.PutUint32(buf[16:20], m.BufferID)
+	binary.BigEndian.PutUint16(buf[20:22], m.OutPort)
+	binary.BigEndian.PutUint16(buf[22:24], m.Flags)
+	b = append(b, buf...)
+	return encodeActions(b, m.Actions)
+}
+
+func (m *FlowMod) decodeBody(data []byte) error {
+	if err := m.Match.decode(data); err != nil {
+		return err
+	}
+	data = data[matchLen:]
+	if len(data) < 24 {
+		return fmt.Errorf("flow-mod too short")
+	}
+	m.Cookie = binary.BigEndian.Uint64(data[0:8])
+	m.Command = binary.BigEndian.Uint16(data[8:10])
+	m.IdleTimeout = binary.BigEndian.Uint16(data[10:12])
+	m.HardTimeout = binary.BigEndian.Uint16(data[12:14])
+	m.Priority = binary.BigEndian.Uint16(data[14:16])
+	m.BufferID = binary.BigEndian.Uint32(data[16:20])
+	m.OutPort = binary.BigEndian.Uint16(data[20:22])
+	m.Flags = binary.BigEndian.Uint16(data[22:24])
+	actions, err := decodeActions(data[24:])
+	if err != nil {
+		return err
+	}
+	m.Actions = actions
+	return nil
+}
+
+// FlowRemoved notifies the controller that an entry expired or was
+// deleted (sent only for entries installed with FlagSendFlowRem).
+type FlowRemoved struct {
+	Match        Match
+	Cookie       uint64
+	Priority     uint16
+	Reason       uint8
+	DurationSec  uint32
+	DurationNsec uint32
+	IdleTimeout  uint16
+	PacketCount  uint64
+	ByteCount    uint64
+}
+
+// MsgType implements Message.
+func (*FlowRemoved) MsgType() MsgType { return TypeFlowRemoved }
+
+func (m *FlowRemoved) encodeBody(b []byte) []byte {
+	b = m.Match.encode(b)
+	buf := make([]byte, 40)
+	binary.BigEndian.PutUint64(buf[0:8], m.Cookie)
+	binary.BigEndian.PutUint16(buf[8:10], m.Priority)
+	buf[10] = m.Reason
+	binary.BigEndian.PutUint32(buf[12:16], m.DurationSec)
+	binary.BigEndian.PutUint32(buf[16:20], m.DurationNsec)
+	binary.BigEndian.PutUint16(buf[20:22], m.IdleTimeout)
+	binary.BigEndian.PutUint64(buf[24:32], m.PacketCount)
+	binary.BigEndian.PutUint64(buf[32:40], m.ByteCount)
+	return append(b, buf...)
+}
+
+func (m *FlowRemoved) decodeBody(data []byte) error {
+	if err := m.Match.decode(data); err != nil {
+		return err
+	}
+	data = data[matchLen:]
+	if len(data) < 40 {
+		return fmt.Errorf("flow-removed too short")
+	}
+	m.Cookie = binary.BigEndian.Uint64(data[0:8])
+	m.Priority = binary.BigEndian.Uint16(data[8:10])
+	m.Reason = data[10]
+	m.DurationSec = binary.BigEndian.Uint32(data[12:16])
+	m.DurationNsec = binary.BigEndian.Uint32(data[16:20])
+	m.IdleTimeout = binary.BigEndian.Uint16(data[20:22])
+	m.PacketCount = binary.BigEndian.Uint64(data[24:32])
+	m.ByteCount = binary.BigEndian.Uint64(data[32:40])
+	return nil
+}
+
+// PortStatus announces port lifecycle changes.
+type PortStatus struct {
+	Reason uint8
+	Desc   PhyPort
+}
+
+// MsgType implements Message.
+func (*PortStatus) MsgType() MsgType { return TypePortStatus }
+
+func (m *PortStatus) encodeBody(b []byte) []byte {
+	buf := make([]byte, 8)
+	buf[0] = m.Reason
+	b = append(b, buf...)
+	return m.Desc.encode(b)
+}
+
+func (m *PortStatus) decodeBody(data []byte) error {
+	if len(data) < 8+phyPortLen {
+		return fmt.Errorf("port-status too short")
+	}
+	m.Reason = data[0]
+	return m.Desc.decode(data[8:])
+}
+
+// BarrierRequest asks the switch to finish all preceding messages.
+type BarrierRequest struct{}
+
+// MsgType implements Message.
+func (*BarrierRequest) MsgType() MsgType             { return TypeBarrierRequest }
+func (*BarrierRequest) encodeBody(b []byte) []byte   { return b }
+func (*BarrierRequest) decodeBody(data []byte) error { return nil }
+
+// BarrierReply confirms a BarrierRequest.
+type BarrierReply struct{}
+
+// MsgType implements Message.
+func (*BarrierReply) MsgType() MsgType             { return TypeBarrierReply }
+func (*BarrierReply) encodeBody(b []byte) []byte   { return b }
+func (*BarrierReply) decodeBody(data []byte) error { return nil }
+
+// Stats types (ofp_stats_types subset).
+const (
+	StatsFlow      uint16 = 1
+	StatsAggregate uint16 = 2
+	StatsPort      uint16 = 4
+)
+
+// StatsRequest queries switch counters.
+type StatsRequest struct {
+	StatsType uint16
+	Flags     uint16
+	// Flow/aggregate request body.
+	Match   Match
+	OutPort uint16
+	// Port request body.
+	PortNo uint16
+}
+
+// MsgType implements Message.
+func (*StatsRequest) MsgType() MsgType { return TypeStatsRequest }
+
+func (m *StatsRequest) encodeBody(b []byte) []byte {
+	buf := make([]byte, 4)
+	binary.BigEndian.PutUint16(buf[0:2], m.StatsType)
+	binary.BigEndian.PutUint16(buf[2:4], m.Flags)
+	b = append(b, buf...)
+	switch m.StatsType {
+	case StatsFlow, StatsAggregate:
+		b = m.Match.encode(b)
+		body := make([]byte, 4)
+		body[0] = 0xff // table_id: all
+		binary.BigEndian.PutUint16(body[2:4], m.OutPort)
+		b = append(b, body...)
+	case StatsPort:
+		body := make([]byte, 8)
+		binary.BigEndian.PutUint16(body[0:2], m.PortNo)
+		b = append(b, body...)
+	}
+	return b
+}
+
+func (m *StatsRequest) decodeBody(data []byte) error {
+	if len(data) < 4 {
+		return fmt.Errorf("stats request too short")
+	}
+	m.StatsType = binary.BigEndian.Uint16(data[0:2])
+	m.Flags = binary.BigEndian.Uint16(data[2:4])
+	data = data[4:]
+	switch m.StatsType {
+	case StatsFlow, StatsAggregate:
+		if err := m.Match.decode(data); err != nil {
+			return err
+		}
+		data = data[matchLen:]
+		if len(data) < 4 {
+			return fmt.Errorf("flow stats request too short")
+		}
+		m.OutPort = binary.BigEndian.Uint16(data[2:4])
+	case StatsPort:
+		if len(data) < 8 {
+			return fmt.Errorf("port stats request too short")
+		}
+		m.PortNo = binary.BigEndian.Uint16(data[0:2])
+	}
+	return nil
+}
+
+// FlowStats is one entry of a flow-stats reply.
+type FlowStats struct {
+	Match       Match
+	DurationSec uint32
+	Priority    uint16
+	IdleTimeout uint16
+	HardTimeout uint16
+	Cookie      uint64
+	PacketCount uint64
+	ByteCount   uint64
+	Actions     []Action
+}
+
+func (fs *FlowStats) encode(b []byte) []byte {
+	actions := encodeActions(nil, fs.Actions)
+	entryLen := 2 + 2 + matchLen + 4 + 4 + 2 + 2 + 2 + 6 + 8 + 8 + 8 + len(actions)
+	buf := make([]byte, 4)
+	binary.BigEndian.PutUint16(buf[0:2], uint16(entryLen))
+	b = append(b, buf...) // length + table_id + pad
+	b = fs.Match.encode(b)
+	body := make([]byte, 44)
+	binary.BigEndian.PutUint32(body[0:4], fs.DurationSec)
+	binary.BigEndian.PutUint16(body[8:10], fs.Priority)
+	binary.BigEndian.PutUint16(body[10:12], fs.IdleTimeout)
+	binary.BigEndian.PutUint16(body[12:14], fs.HardTimeout)
+	binary.BigEndian.PutUint64(body[20:28], fs.Cookie)
+	binary.BigEndian.PutUint64(body[28:36], fs.PacketCount)
+	binary.BigEndian.PutUint64(body[36:44], fs.ByteCount)
+	b = append(b, body...)
+	return append(b, actions...)
+}
+
+func (fs *FlowStats) decode(data []byte) (rest []byte, err error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("flow stats entry too short")
+	}
+	entryLen := int(binary.BigEndian.Uint16(data[0:2]))
+	if entryLen < 4+matchLen+44 || entryLen > len(data) {
+		return nil, fmt.Errorf("bad flow stats entry length %d", entryLen)
+	}
+	entry := data[4:entryLen]
+	if err := fs.Match.decode(entry); err != nil {
+		return nil, err
+	}
+	entry = entry[matchLen:]
+	fs.DurationSec = binary.BigEndian.Uint32(entry[0:4])
+	fs.Priority = binary.BigEndian.Uint16(entry[8:10])
+	fs.IdleTimeout = binary.BigEndian.Uint16(entry[10:12])
+	fs.HardTimeout = binary.BigEndian.Uint16(entry[12:14])
+	fs.Cookie = binary.BigEndian.Uint64(entry[20:28])
+	fs.PacketCount = binary.BigEndian.Uint64(entry[28:36])
+	fs.ByteCount = binary.BigEndian.Uint64(entry[36:44])
+	if fs.Actions, err = decodeActions(entry[44:]); err != nil {
+		return nil, err
+	}
+	return data[entryLen:], nil
+}
+
+// PortStats is one entry of a port-stats reply (subset of counters).
+type PortStats struct {
+	PortNo    uint16
+	RxPackets uint64
+	TxPackets uint64
+	RxBytes   uint64
+	TxBytes   uint64
+	RxDropped uint64
+	TxDropped uint64
+}
+
+const portStatsLen = 56
+
+func (ps *PortStats) encode(b []byte) []byte {
+	buf := make([]byte, portStatsLen)
+	binary.BigEndian.PutUint16(buf[0:2], ps.PortNo)
+	binary.BigEndian.PutUint64(buf[8:16], ps.RxPackets)
+	binary.BigEndian.PutUint64(buf[16:24], ps.TxPackets)
+	binary.BigEndian.PutUint64(buf[24:32], ps.RxBytes)
+	binary.BigEndian.PutUint64(buf[32:40], ps.TxBytes)
+	binary.BigEndian.PutUint64(buf[40:48], ps.RxDropped)
+	binary.BigEndian.PutUint64(buf[48:56], ps.TxDropped)
+	return append(b, buf...)
+}
+
+func (ps *PortStats) decode(data []byte) error {
+	if len(data) < portStatsLen {
+		return fmt.Errorf("port stats entry too short")
+	}
+	ps.PortNo = binary.BigEndian.Uint16(data[0:2])
+	ps.RxPackets = binary.BigEndian.Uint64(data[8:16])
+	ps.TxPackets = binary.BigEndian.Uint64(data[16:24])
+	ps.RxBytes = binary.BigEndian.Uint64(data[24:32])
+	ps.TxBytes = binary.BigEndian.Uint64(data[32:40])
+	ps.RxDropped = binary.BigEndian.Uint64(data[40:48])
+	ps.TxDropped = binary.BigEndian.Uint64(data[48:56])
+	return nil
+}
+
+// AggregateStats is the aggregate-stats reply body.
+type AggregateStats struct {
+	PacketCount uint64
+	ByteCount   uint64
+	FlowCount   uint32
+}
+
+// StatsReply answers a StatsRequest.
+type StatsReply struct {
+	StatsType uint16
+	Flags     uint16
+	Flows     []FlowStats    // StatsFlow
+	Ports     []PortStats    // StatsPort
+	Aggregate AggregateStats // StatsAggregate
+}
+
+// MsgType implements Message.
+func (*StatsReply) MsgType() MsgType { return TypeStatsReply }
+
+func (m *StatsReply) encodeBody(b []byte) []byte {
+	buf := make([]byte, 4)
+	binary.BigEndian.PutUint16(buf[0:2], m.StatsType)
+	binary.BigEndian.PutUint16(buf[2:4], m.Flags)
+	b = append(b, buf...)
+	switch m.StatsType {
+	case StatsFlow:
+		for i := range m.Flows {
+			b = m.Flows[i].encode(b)
+		}
+	case StatsPort:
+		for i := range m.Ports {
+			b = m.Ports[i].encode(b)
+		}
+	case StatsAggregate:
+		body := make([]byte, 24)
+		binary.BigEndian.PutUint64(body[0:8], m.Aggregate.PacketCount)
+		binary.BigEndian.PutUint64(body[8:16], m.Aggregate.ByteCount)
+		binary.BigEndian.PutUint32(body[16:20], m.Aggregate.FlowCount)
+		b = append(b, body...)
+	}
+	return b
+}
+
+func (m *StatsReply) decodeBody(data []byte) error {
+	if len(data) < 4 {
+		return fmt.Errorf("stats reply too short")
+	}
+	m.StatsType = binary.BigEndian.Uint16(data[0:2])
+	m.Flags = binary.BigEndian.Uint16(data[2:4])
+	data = data[4:]
+	switch m.StatsType {
+	case StatsFlow:
+		for len(data) > 0 {
+			var fs FlowStats
+			rest, err := fs.decode(data)
+			if err != nil {
+				return err
+			}
+			m.Flows = append(m.Flows, fs)
+			data = rest
+		}
+	case StatsPort:
+		if len(data)%portStatsLen != 0 {
+			return fmt.Errorf("trailing bytes in port stats")
+		}
+		for len(data) > 0 {
+			var ps PortStats
+			if err := ps.decode(data); err != nil {
+				return err
+			}
+			m.Ports = append(m.Ports, ps)
+			data = data[portStatsLen:]
+		}
+	case StatsAggregate:
+		if len(data) < 24 {
+			return fmt.Errorf("aggregate stats too short")
+		}
+		m.Aggregate.PacketCount = binary.BigEndian.Uint64(data[0:8])
+		m.Aggregate.ByteCount = binary.BigEndian.Uint64(data[8:16])
+		m.Aggregate.FlowCount = binary.BigEndian.Uint32(data[16:20])
+	}
+	return nil
+}

@@ -1,0 +1,176 @@
+package pkt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+)
+
+// In-place frame mutation helpers used by the OpenFlow datapath's
+// set-field actions and by NAT-style Click elements. All of them keep the
+// IPv4 header checksum and the UDP/TCP pseudo-header checksums correct by
+// incremental update (RFC 1624: HC' = ~(~HC + ~m + m')).
+
+// updateChecksum16 folds the replacement of 16-bit value old by new into
+// checksum cs.
+func updateChecksum16(cs, old, new_ uint16) uint16 {
+	sum := uint32(^cs) + uint32(^old) + uint32(new_)
+	for sum > 0xffff {
+		sum = (sum >> 16) + (sum & 0xffff)
+	}
+	return ^uint16(sum)
+}
+
+// frameOffsets locates the IPv4 header and transport header inside frame.
+type frameOffsets struct {
+	ip    int // offset of IPv4 header, -1 when not IP
+	ihl   int
+	proto IPProtocol
+	trans int // offset of transport header, -1 when absent/fragment
+}
+
+func locate(frame []byte) (frameOffsets, error) {
+	off := frameOffsets{ip: -1, trans: -1}
+	if len(frame) < 14 {
+		return off, ErrTooShort
+	}
+	et := EtherType(binary.BigEndian.Uint16(frame[12:14]))
+	l3 := 14
+	if et == EtherTypeVLAN {
+		if len(frame) < 18 {
+			return off, ErrTooShort
+		}
+		et = EtherType(binary.BigEndian.Uint16(frame[16:18]))
+		l3 = 18
+	}
+	if et != EtherTypeIPv4 {
+		return off, nil
+	}
+	if len(frame) < l3+20 {
+		return off, ErrTooShort
+	}
+	off.ip = l3
+	off.ihl = int(frame[l3]&0xf) * 4
+	if off.ihl < 20 || len(frame) < l3+off.ihl {
+		return off, fmt.Errorf("pkt: bad IHL")
+	}
+	off.proto = IPProtocol(frame[l3+9])
+	fragOff := binary.BigEndian.Uint16(frame[l3+6:l3+8]) & 0x1fff
+	if fragOff == 0 && (off.proto == IPProtoUDP || off.proto == IPProtoTCP) {
+		t := l3 + off.ihl
+		need := 8
+		if off.proto == IPProtoTCP {
+			need = 20
+		}
+		if len(frame) >= t+need {
+			off.trans = t
+		}
+	}
+	return off, nil
+}
+
+// SetDLAddr rewrites the destination (dst=true) or source MAC address.
+func SetDLAddr(frame []byte, dst bool, mac MAC) error {
+	if len(frame) < 14 {
+		return ErrTooShort
+	}
+	if dst {
+		copy(frame[0:6], mac[:])
+	} else {
+		copy(frame[6:12], mac[:])
+	}
+	return nil
+}
+
+// SetNWAddr rewrites the IPv4 destination (dst=true) or source address,
+// fixing the IP header checksum and any UDP/TCP checksum.
+func SetNWAddr(frame []byte, dst bool, addr netip.Addr) error {
+	if !addr.Is4() {
+		return fmt.Errorf("pkt: SetNWAddr wants an IPv4 address")
+	}
+	off, err := locate(frame)
+	if err != nil {
+		return err
+	}
+	if off.ip < 0 {
+		return fmt.Errorf("pkt: frame is not IPv4")
+	}
+	fieldOff := off.ip + 12
+	if dst {
+		fieldOff = off.ip + 16
+	}
+	na := addr.As4()
+	for i := 0; i < 4; i += 2 {
+		old := binary.BigEndian.Uint16(frame[fieldOff+i : fieldOff+i+2])
+		new_ := binary.BigEndian.Uint16(na[i : i+2])
+		// IP header checksum.
+		ipcs := binary.BigEndian.Uint16(frame[off.ip+10 : off.ip+12])
+		binary.BigEndian.PutUint16(frame[off.ip+10:off.ip+12], updateChecksum16(ipcs, old, new_))
+		// Transport checksum covers the pseudo-header.
+		if off.trans >= 0 {
+			csOff := transportChecksumOffset(off)
+			if csOff > 0 {
+				tcs := binary.BigEndian.Uint16(frame[csOff : csOff+2])
+				if !(off.proto == IPProtoUDP && tcs == 0) { // UDP zero = no checksum
+					binary.BigEndian.PutUint16(frame[csOff:csOff+2], updateChecksum16(tcs, old, new_))
+				}
+			}
+		}
+		binary.BigEndian.PutUint16(frame[fieldOff+i:fieldOff+i+2], new_)
+	}
+	return nil
+}
+
+// SetTPPort rewrites the destination (dst=true) or source UDP/TCP port,
+// fixing the transport checksum.
+func SetTPPort(frame []byte, dst bool, port uint16) error {
+	off, err := locate(frame)
+	if err != nil {
+		return err
+	}
+	if off.trans < 0 {
+		return fmt.Errorf("pkt: frame has no rewritable transport header")
+	}
+	fieldOff := off.trans
+	if dst {
+		fieldOff += 2
+	}
+	old := binary.BigEndian.Uint16(frame[fieldOff : fieldOff+2])
+	csOff := transportChecksumOffset(off)
+	if csOff > 0 {
+		tcs := binary.BigEndian.Uint16(frame[csOff : csOff+2])
+		if !(off.proto == IPProtoUDP && tcs == 0) {
+			binary.BigEndian.PutUint16(frame[csOff:csOff+2], updateChecksum16(tcs, old, port))
+		}
+	}
+	binary.BigEndian.PutUint16(frame[fieldOff:fieldOff+2], port)
+	return nil
+}
+
+func transportChecksumOffset(off frameOffsets) int {
+	switch off.proto {
+	case IPProtoUDP:
+		return off.trans + 6
+	case IPProtoTCP:
+		return off.trans + 16
+	}
+	return -1
+}
+
+// SetNWTOS rewrites the IPv4 TOS byte, fixing the header checksum.
+func SetNWTOS(frame []byte, tos uint8) error {
+	off, err := locate(frame)
+	if err != nil {
+		return err
+	}
+	if off.ip < 0 {
+		return fmt.Errorf("pkt: frame is not IPv4")
+	}
+	// TOS shares a 16-bit word with version/IHL.
+	old := binary.BigEndian.Uint16(frame[off.ip : off.ip+2])
+	frame[off.ip+1] = tos
+	new_ := binary.BigEndian.Uint16(frame[off.ip : off.ip+2])
+	ipcs := binary.BigEndian.Uint16(frame[off.ip+10 : off.ip+12])
+	binary.BigEndian.PutUint16(frame[off.ip+10:off.ip+12], updateChecksum16(ipcs, old, new_))
+	return nil
+}

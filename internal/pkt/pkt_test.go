@@ -1,0 +1,424 @@
+package pkt
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+var (
+	mac1 = MAC{0x02, 0x00, 0x00, 0x00, 0x00, 0x01}
+	mac2 = MAC{0x02, 0x00, 0x00, 0x00, 0x00, 0x02}
+	ip1  = netip.MustParseAddr("10.0.0.1")
+	ip2  = netip.MustParseAddr("10.0.0.2")
+)
+
+func TestMACString(t *testing.T) {
+	if got := mac1.String(); got != "02:00:00:00:00:01" {
+		t.Errorf("MAC.String() = %q", got)
+	}
+}
+
+func TestParseMACRoundTrip(t *testing.T) {
+	m, err := ParseMAC("de:ad:be:ef:00:2a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.String() != "de:ad:be:ef:00:2a" {
+		t.Errorf("round trip = %s", m)
+	}
+}
+
+func TestParseMACInvalid(t *testing.T) {
+	for _, s := range []string{"", "gg:00:00:00:00:00", "01:02:03"} {
+		if _, err := ParseMAC(s); err == nil {
+			t.Errorf("ParseMAC(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestNthMACDeterministicUnique(t *testing.T) {
+	seen := map[MAC]bool{}
+	for i := uint32(0); i < 1000; i++ {
+		m := NthMAC(i)
+		if m.IsMulticast() {
+			t.Fatalf("NthMAC(%d) = %s is multicast", i, m)
+		}
+		if seen[m] {
+			t.Fatalf("NthMAC(%d) = %s repeats", i, m)
+		}
+		seen[m] = true
+		if m != NthMAC(i) {
+			t.Fatalf("NthMAC(%d) not deterministic", i)
+		}
+	}
+}
+
+func TestBroadcastDetect(t *testing.T) {
+	if !BroadcastMAC.IsBroadcast() || !BroadcastMAC.IsMulticast() {
+		t.Error("BroadcastMAC misclassified")
+	}
+	if mac1.IsBroadcast() {
+		t.Error("unicast MAC classified broadcast")
+	}
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	frame, err := BuildUDP(mac1, mac2, ip1, ip2, 4000, 5000, []byte("hello escape"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Decode(frame)
+	if p.DecodeError != nil {
+		t.Fatalf("decode: %v", p.DecodeError)
+	}
+	eth := p.Ethernet()
+	if eth == nil || eth.Src != mac1 || eth.Dst != mac2 {
+		t.Fatalf("ethernet = %+v", eth)
+	}
+	ip := p.IPv4Layer()
+	if ip == nil || ip.Src != ip1 || ip.Dst != ip2 || ip.Protocol != IPProtoUDP {
+		t.Fatalf("ip = %+v", ip)
+	}
+	u, ok := p.Layer(LayerTypeUDP).(*UDP)
+	if !ok || u.SrcPort != 4000 || u.DstPort != 5000 {
+		t.Fatalf("udp = %+v", u)
+	}
+	if string(u.Payload()) != "hello escape" {
+		t.Fatalf("payload = %q", u.Payload())
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	frame, err := BuildTCP(mac1, mac2, ip1, ip2, 1234, 80, TCPSyn|TCPAck, 42, []byte("GET /"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Decode(frame)
+	tcp, ok := p.Layer(LayerTypeTCP).(*TCP)
+	if !ok {
+		t.Fatalf("no TCP layer: %s", p)
+	}
+	if tcp.SrcPort != 1234 || tcp.DstPort != 80 || tcp.Seq != 42 {
+		t.Fatalf("tcp = %+v", tcp)
+	}
+	if tcp.Flags&TCPSyn == 0 || tcp.Flags&TCPAck == 0 {
+		t.Fatalf("flags = %s", tcp.FlagString())
+	}
+	if string(tcp.Payload()) != "GET /" {
+		t.Fatalf("payload = %q", tcp.Payload())
+	}
+}
+
+func TestICMPEchoRoundTripAndChecksum(t *testing.T) {
+	frame, err := BuildICMPEcho(mac1, mac2, ip1, ip2, ICMPEchoRequest, 7, 3, []byte("pingpayload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Decode(frame)
+	ic, ok := p.Layer(LayerTypeICMP).(*ICMP)
+	if !ok {
+		t.Fatalf("no ICMP layer: %s", p)
+	}
+	if ic.Type != ICMPEchoRequest || ic.Ident != 7 || ic.Seq != 3 {
+		t.Fatalf("icmp = %+v", ic)
+	}
+	if !ic.VerifyChecksum() {
+		t.Error("checksum does not verify")
+	}
+	// Corrupt one payload byte: checksum must fail.
+	frame[len(frame)-1] ^= 0xff
+	p2 := Decode(frame)
+	ic2 := p2.Layer(LayerTypeICMP).(*ICMP)
+	if ic2.VerifyChecksum() {
+		t.Error("checksum verified after corruption")
+	}
+}
+
+func TestARPRoundTrip(t *testing.T) {
+	frame, err := BuildARPRequest(mac1, ip1, ip2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Decode(frame)
+	a, ok := p.Layer(LayerTypeARP).(*ARP)
+	if !ok {
+		t.Fatalf("no ARP layer: %s", p)
+	}
+	if a.Op != ARPRequest || a.SenderIP != ip1 || a.TargetIP != ip2 || a.SenderMAC != mac1 {
+		t.Fatalf("arp = %+v", a)
+	}
+	reply, err := BuildARPReply(mac2, mac1, ip2, ip1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra := Decode(reply).Layer(LayerTypeARP).(*ARP)
+	if ra.Op != ARPReply || ra.SenderMAC != mac2 {
+		t.Fatalf("arp reply = %+v", ra)
+	}
+}
+
+func TestVLANTagRoundTrip(t *testing.T) {
+	ipl := &IPv4{TTL: 64, Protocol: IPProtoUDP, Src: ip1, Dst: ip2}
+	udp := &UDP{SrcPort: 1, DstPort: 2}
+	udp.SetNetworkLayer(ipl)
+	frame, err := SerializeLayers(
+		&Ethernet{Src: mac1, Dst: mac2, EtherType: EtherTypeVLAN},
+		&VLAN{ID: 100, Priority: 3, EtherType: EtherTypeIPv4},
+		ipl, udp, Raw("x"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Decode(frame)
+	v, ok := p.Layer(LayerTypeVLAN).(*VLAN)
+	if !ok {
+		t.Fatalf("no VLAN layer: %s", p)
+	}
+	if v.ID != 100 || v.Priority != 3 {
+		t.Fatalf("vlan = %+v", v)
+	}
+	if p.IPv4Layer() == nil {
+		t.Fatal("IPv4 under VLAN not decoded")
+	}
+}
+
+func TestVLANIDRange(t *testing.T) {
+	v := &VLAN{ID: 5000}
+	if _, err := v.SerializeTo(nil); err == nil {
+		t.Error("oversized VLAN ID accepted")
+	}
+}
+
+func TestPushPopVLAN(t *testing.T) {
+	frame, _ := BuildUDP(mac1, mac2, ip1, ip2, 1, 2, []byte("data"))
+	tagged, err := PushVLAN(frame, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Summarize(tagged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.VLANID != 42 || s.EtherType != EtherTypeIPv4 {
+		t.Fatalf("summary after push = %+v", s)
+	}
+	// Re-push rewrites in place (OF 1.0 semantics).
+	retag, _ := PushVLAN(tagged, 43)
+	if s2, _ := Summarize(retag); s2.VLANID != 43 {
+		t.Fatalf("retag = %+v", s2)
+	}
+	if len(retag) != len(tagged) {
+		t.Fatalf("retag changed length %d != %d", len(retag), len(tagged))
+	}
+	popped, err := PopVLAN(tagged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(popped, frame) {
+		t.Error("pop(push(frame)) != frame")
+	}
+	// Pop on untagged is identity.
+	same, _ := PopVLAN(frame)
+	if !bytes.Equal(same, frame) {
+		t.Error("pop on untagged changed frame")
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	frame, _ := BuildUDP(mac1, mac2, ip1, ip2, 1, 2, []byte("0123456789"))
+	for _, cut := range []int{1, 10, 15, 22, 35} {
+		if cut >= len(frame) {
+			continue
+		}
+		p := Decode(frame[:cut])
+		if p == nil {
+			t.Fatalf("Decode returned nil at cut %d", cut)
+		}
+		if cut < 14 && p.DecodeError == nil {
+			t.Errorf("cut=%d: want decode error", cut)
+		}
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	p := Decode([]byte{0x01, 0x02})
+	if p.DecodeError == nil {
+		t.Error("garbage decoded without error")
+	}
+	if len(p.Layers()) != 0 {
+		t.Errorf("layers = %d, want 0", len(p.Layers()))
+	}
+}
+
+func TestFiveTupleExtractReverse(t *testing.T) {
+	frame, _ := BuildUDP(mac1, mac2, ip1, ip2, 4000, 5000, nil)
+	ft, ok := ExtractFiveTuple(Decode(frame))
+	if !ok {
+		t.Fatal("no five-tuple")
+	}
+	if ft.Src != ip1 || ft.DstPort != 5000 {
+		t.Fatalf("tuple = %v", ft)
+	}
+	r := ft.Reverse()
+	if r.Src != ip2 || r.SrcPort != 5000 || r.DstPort != 4000 {
+		t.Fatalf("reverse = %v", r)
+	}
+	if r.Reverse() != ft {
+		t.Error("double reverse != identity")
+	}
+}
+
+func TestFiveTupleNonIP(t *testing.T) {
+	frame, _ := BuildARPRequest(mac1, ip1, ip2)
+	if _, ok := ExtractFiveTuple(Decode(frame)); ok {
+		t.Error("five-tuple from ARP frame")
+	}
+}
+
+func TestChecksumKnownVector(t *testing.T) {
+	// RFC 1071 example: checksum of 00 01 f2 03 f4 f5 f6 f7 = 0x220d (ones
+	// complement of 0xddf2).
+	data := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	if got := Checksum(data); got != 0x220d {
+		t.Errorf("Checksum = %#04x, want 0x220d", got)
+	}
+}
+
+func TestIPv4ChecksumSelfConsistent(t *testing.T) {
+	ip := &IPv4{TTL: 64, Protocol: IPProtoUDP, Src: ip1, Dst: ip2}
+	hdr, err := ip.SerializeTo(make([]byte, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A correct IPv4 header checksums to zero when summed whole.
+	if got := Checksum(hdr); got != 0 {
+		t.Errorf("header checksum residue = %#04x, want 0", got)
+	}
+}
+
+func TestPacketString(t *testing.T) {
+	frame, _ := BuildUDP(mac1, mac2, ip1, ip2, 4000, 5000, []byte("x"))
+	s := Decode(frame).String()
+	for _, want := range []string{"Ethernet", "IPv4", "UDP", "4000>5000"} {
+		if !bytes.Contains([]byte(s), []byte(want)) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+// Property: any (ports, payload) round-trips through serialize+decode.
+func TestQuickUDPRoundTrip(t *testing.T) {
+	f := func(sp, dp uint16, payload []byte) bool {
+		if len(payload) > 1400 {
+			payload = payload[:1400]
+		}
+		frame, err := BuildUDP(mac1, mac2, ip1, ip2, sp, dp, payload)
+		if err != nil {
+			return false
+		}
+		p := Decode(frame)
+		u, ok := p.Layer(LayerTypeUDP).(*UDP)
+		if !ok {
+			return false
+		}
+		return u.SrcPort == sp && u.DstPort == dp && bytes.Equal(u.Payload(), payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: PushVLAN then PopVLAN is identity for valid IDs.
+func TestQuickVLANPushPop(t *testing.T) {
+	f := func(id uint16, payload []byte) bool {
+		id = id % 4095
+		frame, err := BuildUDP(mac1, mac2, ip1, ip2, 1, 2, payload)
+		if err != nil {
+			return false
+		}
+		tagged, err := PushVLAN(frame, id)
+		if err != nil {
+			return false
+		}
+		s, err := Summarize(tagged)
+		if err != nil || s.VLANID != int(id) {
+			return false
+		}
+		popped, err := PopVLAN(tagged)
+		return err == nil && bytes.Equal(popped, frame)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: decoding arbitrary bytes never panics and never fabricates
+// layers beyond the data.
+func TestQuickDecodeNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		p := Decode(data)
+		return p != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Internet checksum of data with its own checksum appended is 0.
+func TestQuickChecksumResidue(t *testing.T) {
+	f := func(data []byte) bool {
+		if len(data)%2 == 1 {
+			data = append(data, 0)
+		}
+		cs := Checksum(data)
+		whole := append(append([]byte{}, data...), byte(cs>>8), byte(cs))
+		return Checksum(whole) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummarizeUntagged(t *testing.T) {
+	frame, _ := BuildUDP(mac1, mac2, ip1, ip2, 1, 2, nil)
+	s, err := Summarize(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.VLANID != -1 || s.EtherType != EtherTypeIPv4 || s.Src != mac1 {
+		t.Fatalf("summary = %+v", s)
+	}
+}
+
+func TestSerializeLayersEmpty(t *testing.T) {
+	if _, err := SerializeLayers(); err == nil {
+		t.Error("SerializeLayers() with no layers succeeded")
+	}
+}
+
+func TestIPv4RejectsNonV4(t *testing.T) {
+	ip := &IPv4{Src: netip.MustParseAddr("::1"), Dst: ip2}
+	if _, err := ip.SerializeTo(nil); err == nil {
+		t.Error("IPv6 address accepted by IPv4 layer")
+	}
+}
+
+func BenchmarkDecodeUDP(b *testing.B) {
+	frame, _ := BuildUDP(mac1, mac2, ip1, ip2, 4000, 5000, make([]byte, 64))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Decode(frame)
+	}
+}
+
+func BenchmarkSummarize(b *testing.B) {
+	frame, _ := BuildUDP(mac1, mac2, ip1, ip2, 4000, 5000, make([]byte, 64))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Summarize(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,408 @@
+// Package pox implements the OpenFlow controller platform of ESCAPE: a Go
+// port of the POX programming model. Components register for events
+// (ConnectionUp, PacketIn, FlowRemoved, PortStatus, ConnectionDown) and
+// drive switches through Connection methods (flow-mods, packet-outs,
+// synchronous stats and barriers).
+//
+// ESCAPE's traffic-steering application (internal/steering) and the
+// classic l2_learning switch (in this package) are components on top of
+// this core, exactly mirroring how the original ESCAPE extends POX.
+package pox
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"escape/internal/openflow"
+)
+
+// Component is anything registered with a Controller. Event interest is
+// declared by implementing the optional *Handler interfaces below.
+type Component interface {
+	// ComponentName identifies the component in logs ("l2_learning").
+	ComponentName() string
+}
+
+// ConnectionUpHandler receives an event when a switch completes its
+// handshake.
+type ConnectionUpHandler interface {
+	HandleConnectionUp(c *Connection)
+}
+
+// ConnectionDownHandler receives an event when a switch's control channel
+// closes.
+type ConnectionDownHandler interface {
+	HandleConnectionDown(c *Connection)
+}
+
+// PacketInHandler receives data-plane packets punted to the controller.
+type PacketInHandler interface {
+	HandlePacketIn(c *Connection, pi *openflow.PacketIn)
+}
+
+// FlowRemovedHandler receives flow-expiry notifications.
+type FlowRemovedHandler interface {
+	HandleFlowRemoved(c *Connection, fr *openflow.FlowRemoved)
+}
+
+// PortStatusHandler receives port lifecycle events.
+type PortStatusHandler interface {
+	HandlePortStatus(c *Connection, ps *openflow.PortStatus)
+}
+
+// Controller is the POX core: it owns switch connections and dispatches
+// events to components in registration order.
+type Controller struct {
+	mu         sync.RWMutex
+	components []Component
+	conns      map[uint64]*Connection
+	ln         net.Listener
+	closed     atomic.Bool
+	wg         sync.WaitGroup
+}
+
+// NewController returns a controller with no components.
+func NewController() *Controller {
+	return &Controller{conns: map[uint64]*Connection{}}
+}
+
+// Register adds a component. Registration order is dispatch order.
+func (ct *Controller) Register(c Component) {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	ct.components = append(ct.components, c)
+}
+
+// Component returns the first registered component with the given name,
+// or nil.
+func (ct *Controller) Component(name string) Component {
+	ct.mu.RLock()
+	defer ct.mu.RUnlock()
+	for _, c := range ct.components {
+		if c.ComponentName() == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// ListenAndServe accepts switch connections on addr ("127.0.0.1:6633" or
+// ":0"). It returns once listening; accepted connections are handshaked in
+// goroutines.
+func (ct *Controller) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("pox: listen: %w", err)
+	}
+	ct.mu.Lock()
+	ct.ln = ln
+	ct.mu.Unlock()
+	ct.wg.Add(1)
+	go func() {
+		defer ct.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			ct.wg.Add(1)
+			go func() {
+				defer ct.wg.Done()
+				_ = ct.Serve(conn)
+			}()
+		}
+	}()
+	return nil
+}
+
+// Addr returns the listener address, or nil when not listening.
+func (ct *Controller) Addr() net.Addr {
+	ct.mu.RLock()
+	defer ct.mu.RUnlock()
+	if ct.ln == nil {
+		return nil
+	}
+	return ct.ln.Addr()
+}
+
+// Serve performs the controller-side handshake on an established conn
+// (TCP or in-process net.Pipe) and runs its event loop until the
+// connection dies. It blocks: callers that need concurrency use a
+// goroutine (ListenAndServe does).
+func (ct *Controller) Serve(conn net.Conn) error {
+	c := &Connection{ctrl: ct, conn: conn, pending: map[uint32]chan openflow.Message{}}
+	if err := c.handshake(); err != nil {
+		conn.Close()
+		return err
+	}
+	ct.mu.Lock()
+	ct.conns[c.dpid] = c
+	ct.mu.Unlock()
+	ct.dispatchConnectionUp(c)
+	err := c.readLoop()
+	ct.mu.Lock()
+	if ct.conns[c.dpid] == c {
+		delete(ct.conns, c.dpid)
+	}
+	ct.mu.Unlock()
+	ct.dispatchConnectionDown(c)
+	conn.Close()
+	if ct.closed.Load() {
+		return nil
+	}
+	return err
+}
+
+// Connection returns the connection for a datapath id, or nil.
+func (ct *Controller) Connection(dpid uint64) *Connection {
+	ct.mu.RLock()
+	defer ct.mu.RUnlock()
+	return ct.conns[dpid]
+}
+
+// Connections snapshots all live connections sorted by dpid.
+func (ct *Controller) Connections() []*Connection {
+	ct.mu.RLock()
+	defer ct.mu.RUnlock()
+	out := make([]*Connection, 0, len(ct.conns))
+	for _, c := range ct.conns {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].dpid < out[j].dpid })
+	return out
+}
+
+// WaitForSwitches blocks until n switches are connected or the timeout
+// elapses.
+func (ct *Controller) WaitForSwitches(n int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		ct.mu.RLock()
+		have := len(ct.conns)
+		ct.mu.RUnlock()
+		if have >= n {
+			return nil
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return fmt.Errorf("pox: %d switches did not connect within %v", n, timeout)
+}
+
+// Close stops the listener and closes every switch connection.
+func (ct *Controller) Close() {
+	ct.closed.Store(true)
+	ct.mu.Lock()
+	if ct.ln != nil {
+		ct.ln.Close()
+	}
+	conns := make([]*Connection, 0, len(ct.conns))
+	for _, c := range ct.conns {
+		conns = append(conns, c)
+	}
+	ct.mu.Unlock()
+	for _, c := range conns {
+		c.conn.Close()
+	}
+	ct.wg.Wait()
+}
+
+func (ct *Controller) snapshotComponents() []Component {
+	ct.mu.RLock()
+	defer ct.mu.RUnlock()
+	return append([]Component(nil), ct.components...)
+}
+
+func (ct *Controller) dispatchConnectionUp(c *Connection) {
+	for _, comp := range ct.snapshotComponents() {
+		if h, ok := comp.(ConnectionUpHandler); ok {
+			h.HandleConnectionUp(c)
+		}
+	}
+}
+
+func (ct *Controller) dispatchConnectionDown(c *Connection) {
+	for _, comp := range ct.snapshotComponents() {
+		if h, ok := comp.(ConnectionDownHandler); ok {
+			h.HandleConnectionDown(c)
+		}
+	}
+}
+
+// Connection is one switch's control channel, with POX-style helpers.
+type Connection struct {
+	ctrl  *Controller
+	conn  net.Conn
+	dpid  uint64
+	ports []openflow.PhyPort
+
+	writeMu sync.Mutex
+	xid     atomic.Uint32
+
+	pendMu  sync.Mutex
+	pending map[uint32]chan openflow.Message
+}
+
+// DPID returns the switch datapath id.
+func (c *Connection) DPID() uint64 { return c.dpid }
+
+// Ports returns the port list from the features handshake.
+func (c *Connection) Ports() []openflow.PhyPort {
+	return append([]openflow.PhyPort(nil), c.ports...)
+}
+
+func (c *Connection) handshake() error {
+	if err := c.send(&openflow.Hello{}); err != nil {
+		return fmt.Errorf("pox: sending hello: %w", err)
+	}
+	msg, _, err := openflow.ReadMessage(c.conn)
+	if err != nil {
+		return fmt.Errorf("pox: reading hello: %w", err)
+	}
+	if msg.MsgType() != openflow.TypeHello {
+		return fmt.Errorf("pox: expected HELLO, got %s", msg.MsgType())
+	}
+	if err := c.send(&openflow.FeaturesRequest{}); err != nil {
+		return err
+	}
+	for {
+		msg, _, err := openflow.ReadMessage(c.conn)
+		if err != nil {
+			return fmt.Errorf("pox: waiting for features: %w", err)
+		}
+		if fr, ok := msg.(*openflow.FeaturesReply); ok {
+			c.dpid = fr.DatapathID
+			c.ports = fr.Ports
+			return nil
+		}
+	}
+}
+
+func (c *Connection) readLoop() error {
+	for {
+		msg, h, err := openflow.ReadMessage(c.conn)
+		if err != nil {
+			return err
+		}
+		// Synchronous waiters (stats, barrier) get first claim.
+		c.pendMu.Lock()
+		ch, waiting := c.pending[h.XID]
+		if waiting {
+			delete(c.pending, h.XID)
+		}
+		c.pendMu.Unlock()
+		if waiting {
+			ch <- msg
+			continue
+		}
+		switch m := msg.(type) {
+		case *openflow.EchoRequest:
+			c.sendXID(&openflow.EchoReply{Data: m.Data}, h.XID)
+		case *openflow.PacketIn:
+			for _, comp := range c.ctrl.snapshotComponents() {
+				if ph, ok := comp.(PacketInHandler); ok {
+					ph.HandlePacketIn(c, m)
+				}
+			}
+		case *openflow.FlowRemoved:
+			for _, comp := range c.ctrl.snapshotComponents() {
+				if fh, ok := comp.(FlowRemovedHandler); ok {
+					fh.HandleFlowRemoved(c, m)
+				}
+			}
+		case *openflow.PortStatus:
+			for _, comp := range c.ctrl.snapshotComponents() {
+				if sh, ok := comp.(PortStatusHandler); ok {
+					sh.HandlePortStatus(c, m)
+				}
+			}
+		}
+	}
+}
+
+func (c *Connection) send(msg openflow.Message) error {
+	return c.sendXID(msg, c.xid.Add(1))
+}
+
+func (c *Connection) sendXID(msg openflow.Message, xid uint32) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	return openflow.WriteMessage(c.conn, msg, xid)
+}
+
+// SendFlowMod installs/modifies/deletes a flow entry.
+func (c *Connection) SendFlowMod(fm *openflow.FlowMod) error {
+	return c.send(fm)
+}
+
+// SendPacketOut injects a packet into the switch.
+func (c *Connection) SendPacketOut(po *openflow.PacketOut) error {
+	return c.send(po)
+}
+
+// request sends msg and waits for the same-xid response.
+func (c *Connection) request(msg openflow.Message, timeout time.Duration) (openflow.Message, error) {
+	xid := c.xid.Add(1)
+	ch := make(chan openflow.Message, 1)
+	c.pendMu.Lock()
+	c.pending[xid] = ch
+	c.pendMu.Unlock()
+	if err := c.sendXID(msg, xid); err != nil {
+		c.pendMu.Lock()
+		delete(c.pending, xid)
+		c.pendMu.Unlock()
+		return nil, err
+	}
+	select {
+	case resp := <-ch:
+		return resp, nil
+	case <-time.After(timeout):
+		c.pendMu.Lock()
+		delete(c.pending, xid)
+		c.pendMu.Unlock()
+		return nil, fmt.Errorf("pox: request %s timed out", msg.MsgType())
+	}
+}
+
+// Barrier blocks until the switch has processed all preceding messages.
+func (c *Connection) Barrier(timeout time.Duration) error {
+	resp, err := c.request(&openflow.BarrierRequest{}, timeout)
+	if err != nil {
+		return err
+	}
+	if resp.MsgType() != openflow.TypeBarrierReply {
+		return fmt.Errorf("pox: expected BARRIER_REPLY, got %s", resp.MsgType())
+	}
+	return nil
+}
+
+// FlowStats fetches flow statistics for entries subsumed by match.
+func (c *Connection) FlowStats(match openflow.Match, timeout time.Duration) ([]openflow.FlowStats, error) {
+	resp, err := c.request(&openflow.StatsRequest{
+		StatsType: openflow.StatsFlow, Match: match, OutPort: openflow.PortNone,
+	}, timeout)
+	if err != nil {
+		return nil, err
+	}
+	sr, ok := resp.(*openflow.StatsReply)
+	if !ok {
+		return nil, fmt.Errorf("pox: expected STATS_REPLY, got %s", resp.MsgType())
+	}
+	return sr.Flows, nil
+}
+
+// PortStats fetches port counters (openflow.PortNone = all ports).
+func (c *Connection) PortStats(port uint16, timeout time.Duration) ([]openflow.PortStats, error) {
+	resp, err := c.request(&openflow.StatsRequest{StatsType: openflow.StatsPort, PortNo: port}, timeout)
+	if err != nil {
+		return nil, err
+	}
+	sr, ok := resp.(*openflow.StatsReply)
+	if !ok {
+		return nil, fmt.Errorf("pox: expected STATS_REPLY, got %s", resp.MsgType())
+	}
+	return sr.Ports, nil
+}

@@ -1,0 +1,290 @@
+package pox
+
+import (
+	"net"
+	"net/netip"
+	"testing"
+	"time"
+
+	"escape/internal/ofswitch"
+	"escape/internal/openflow"
+	"escape/internal/pkt"
+)
+
+var (
+	hmacA = pkt.NthMAC(1)
+	hmacB = pkt.NthMAC(2)
+	hipA  = netip.MustParseAddr("10.0.0.1")
+	hipB  = netip.MustParseAddr("10.0.0.2")
+)
+
+// rig is a one-switch testbed: switch with two ports connected to the
+// controller through an in-process pipe.
+type rig struct {
+	ctrl *Controller
+	sw   *ofswitch.Switch
+	out  []chan []byte // per-port transmissions, 1-based
+}
+
+func newRig(t *testing.T, components ...Component) *rig {
+	t.Helper()
+	r := &rig{ctrl: NewController()}
+	for _, c := range components {
+		r.ctrl.Register(c)
+	}
+	r.sw = ofswitch.New("s1", 1, ofswitch.Config{BufferSlots: 16})
+	t.Cleanup(r.sw.Stop)
+	r.out = make([]chan []byte, 3)
+	for i := uint16(1); i <= 2; i++ {
+		ch := make(chan []byte, 64)
+		r.out[i] = ch
+		if err := r.sw.AddPort(&ofswitch.Port{
+			No: i, HWAddr: pkt.NthMAC(uint32(i)), Name: "s1-eth",
+			Transmit: func(f []byte) {
+				select {
+				case ch <- f:
+				default:
+				}
+			},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cside, sside := net.Pipe()
+	go r.ctrl.Serve(cside)
+	if err := r.sw.ConnectController(sside); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ctrl.WaitForSwitches(1, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.ctrl.Close)
+	return r
+}
+
+func frameAB(t *testing.T) []byte {
+	t.Helper()
+	f, err := pkt.BuildUDP(hmacA, hmacB, hipA, hipB, 1000, 2000, []byte("ab"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func frameBA(t *testing.T) []byte {
+	t.Helper()
+	f, err := pkt.BuildUDP(hmacB, hmacA, hipB, hipA, 2000, 1000, []byte("ba"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func expectFrame(t *testing.T, ch chan []byte, what string) []byte {
+	t.Helper()
+	select {
+	case f := <-ch:
+		return f
+	case <-time.After(2 * time.Second):
+		t.Fatalf("timed out waiting for %s", what)
+		return nil
+	}
+}
+
+func TestHandshakePopulatesConnection(t *testing.T) {
+	r := newRig(t)
+	c := r.ctrl.Connection(1)
+	if c == nil {
+		t.Fatal("no connection for dpid 1")
+	}
+	if c.DPID() != 1 {
+		t.Errorf("dpid = %d", c.DPID())
+	}
+	ports := c.Ports()
+	if len(ports) != 2 || ports[0].PortNo != 1 || ports[1].PortNo != 2 {
+		t.Errorf("ports = %+v", ports)
+	}
+	if len(r.ctrl.Connections()) != 1 {
+		t.Errorf("connections = %d", len(r.ctrl.Connections()))
+	}
+}
+
+func TestBarrierAndStats(t *testing.T) {
+	r := newRig(t)
+	c := r.ctrl.Connection(1)
+	if err := c.Barrier(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Install one flow, check flow stats round trip.
+	if err := c.SendFlowMod(&openflow.FlowMod{
+		Match: openflow.MatchAll(), Command: openflow.FCAdd, Priority: 2,
+		BufferID: openflow.NoBuffer, Cookie: 7,
+		Actions: []openflow.Action{openflow.ActionOutput{Port: 2}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Barrier(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	flows, err := c.FlowStats(openflow.MatchAll(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flows) != 1 || flows[0].Cookie != 7 {
+		t.Errorf("flows = %+v", flows)
+	}
+	ports, err := c.PortStats(openflow.PortNone, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ports) != 2 {
+		t.Errorf("ports = %+v", ports)
+	}
+}
+
+// pinReceiver records packet-ins.
+type pinReceiver struct {
+	ch chan *openflow.PacketIn
+}
+
+func (*pinReceiver) ComponentName() string { return "pin-recv" }
+func (p *pinReceiver) HandlePacketIn(c *Connection, pi *openflow.PacketIn) {
+	select {
+	case p.ch <- pi:
+	default:
+	}
+}
+
+func TestPacketInDispatch(t *testing.T) {
+	recv := &pinReceiver{ch: make(chan *openflow.PacketIn, 8)}
+	r := newRig(t, recv)
+	r.sw.Input(1, frameAB(t))
+	select {
+	case pi := <-recv.ch:
+		if pi.InPort != 1 {
+			t.Errorf("in port = %d", pi.InPort)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("packet-in not dispatched")
+	}
+}
+
+func TestL2LearningFloodsThenInstalls(t *testing.T) {
+	l2 := NewL2Learning()
+	r := newRig(t, l2)
+
+	// A → B: destination unknown, must flood out port 2.
+	r.sw.Input(1, frameAB(t))
+	expectFrame(t, r.out[2], "flooded A→B frame")
+	if p, ok := l2.Learned(1, hmacA); !ok || p != 1 {
+		t.Fatalf("A not learned: %v %v", p, ok)
+	}
+
+	// B → A: both ends now known → flow installed, frame delivered on 1.
+	r.sw.Input(2, frameBA(t))
+	expectFrame(t, r.out[1], "B→A frame")
+
+	// Allow the flow-mod to land, then confirm the switch forwards B→A
+	// without a controller round trip.
+	c := r.ctrl.Connection(1)
+	if err := c.Barrier(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	missesBefore := r.sw.TableMisses.Load()
+	r.sw.Input(2, frameBA(t))
+	expectFrame(t, r.out[1], "hardware-forwarded B→A frame")
+	if r.sw.TableMisses.Load() != missesBefore {
+		t.Error("second B→A frame still went to the controller")
+	}
+	if r.sw.Table().Len() == 0 {
+		t.Error("no flow installed")
+	}
+}
+
+func TestL2LearningBroadcastAlwaysFloods(t *testing.T) {
+	l2 := NewL2Learning()
+	r := newRig(t, l2)
+	bcast, err := pkt.BuildARPRequest(hmacA, hipA, hipB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.sw.Input(1, bcast)
+	expectFrame(t, r.out[2], "broadcast ARP")
+	if r.sw.Table().Len() != 0 {
+		t.Error("flow installed for broadcast")
+	}
+}
+
+func TestConnectionDownEvent(t *testing.T) {
+	down := make(chan uint64, 1)
+	comp := &downWatcher{ch: down}
+	r := newRig(t, comp)
+	r.sw.Stop() // closes the switch side of the pipe
+	select {
+	case dpid := <-down:
+		if dpid != 1 {
+			t.Errorf("dpid = %d", dpid)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("connection-down not dispatched")
+	}
+	if r.ctrl.Connection(1) != nil {
+		t.Error("connection still registered after down")
+	}
+}
+
+type downWatcher struct{ ch chan uint64 }
+
+func (*downWatcher) ComponentName() string { return "down-watcher" }
+func (d *downWatcher) HandleConnectionDown(c *Connection) {
+	select {
+	case d.ch <- c.DPID():
+	default:
+	}
+}
+
+func TestListenAndServeTCP(t *testing.T) {
+	ctrl := NewController()
+	l2 := NewL2Learning()
+	ctrl.Register(l2)
+	if err := ctrl.ListenAndServe("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+
+	sw := ofswitch.New("s1", 9, ofswitch.Config{})
+	defer sw.Stop()
+	sw.AddPort(&ofswitch.Port{No: 1, Transmit: func([]byte) {}})
+	conn, err := net.Dial("tcp", ctrl.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.ConnectController(conn); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.WaitForSwitches(1, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if c := ctrl.Connection(9); c == nil {
+		t.Fatal("switch not registered over TCP")
+	}
+}
+
+func TestComponentLookup(t *testing.T) {
+	ctrl := NewController()
+	l2 := NewL2Learning()
+	ctrl.Register(l2)
+	if got := ctrl.Component("l2_learning"); got != Component(l2) {
+		t.Errorf("Component() = %v", got)
+	}
+	if got := ctrl.Component("nope"); got != nil {
+		t.Errorf("Component(nope) = %v", got)
+	}
+}
+
+func TestWaitForSwitchesTimeout(t *testing.T) {
+	ctrl := NewController()
+	if err := ctrl.WaitForSwitches(1, 20*time.Millisecond); err == nil {
+		t.Error("expected timeout error")
+	}
+}

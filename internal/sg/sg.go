@@ -1,0 +1,309 @@
+// Package sg models ESCAPE's service graphs (SG): the abstract
+// description of a network service as SAPs (service access points), NFs
+// (network functions from the VNF catalog) and directed links with
+// bandwidth/delay requirements. Service graphs are what the service layer
+// hands to the orchestrator (internal/core) for mapping onto
+// infrastructure resources.
+//
+// The JSON representation doubles as the file format the MiniEdit-style
+// front end (cmd/miniedit) edits and validates.
+package sg
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// SAP is a service access point: where customer traffic enters or leaves
+// the service. It binds to a host/port in the infrastructure at mapping
+// time.
+type SAP struct {
+	// ID is unique within the graph ("sap1").
+	ID string `json:"id"`
+}
+
+// NF is a network function instance within the service.
+type NF struct {
+	// ID is unique within the graph ("fw1").
+	ID string `json:"id"`
+	// Type names a catalog entry ("firewall").
+	Type string `json:"type"`
+	// Params are catalog template parameters.
+	Params map[string]string `json:"params,omitempty"`
+	// CPU/Mem override the catalog defaults when non-zero.
+	CPU float64 `json:"cpu,omitempty"`
+	Mem int     `json:"mem,omitempty"`
+}
+
+// Endpoint references a node port within the graph. Port is the VNF
+// device name ("in"/"out") for NFs and ignored for SAPs.
+type Endpoint struct {
+	Node string `json:"node"`
+	Port string `json:"port,omitempty"`
+}
+
+// Link is a directed SG link with traffic requirements.
+type Link struct {
+	// ID is unique within the graph ("l1").
+	ID  string   `json:"id"`
+	Src Endpoint `json:"src"`
+	Dst Endpoint `json:"dst"`
+	// Bandwidth demand in bits per second (0 = best effort).
+	Bandwidth float64 `json:"bandwidth,omitempty"`
+	// MaxDelay bounds the one-way latency of the mapped path (0 = none).
+	MaxDelay time.Duration `json:"max_delay,omitempty"`
+}
+
+// Requirement is an end-to-end constraint on a sub-graph: it applies to
+// every chain running from SAP From to SAP To (the paper's "delay or
+// bandwidth requirement on a sub-graph"). MaxDelay bounds the summed
+// propagation delay of all mapped paths along the chain; Bandwidth is a
+// minimum demand applied to every chain link.
+type Requirement struct {
+	ID        string        `json:"id"`
+	From      string        `json:"from"`
+	To        string        `json:"to"`
+	MaxDelay  time.Duration `json:"max_delay,omitempty"`
+	Bandwidth float64       `json:"bandwidth,omitempty"`
+}
+
+// Graph is a service graph.
+type Graph struct {
+	Name  string         `json:"name"`
+	SAPs  []*SAP         `json:"saps"`
+	NFs   []*NF          `json:"nfs"`
+	Links []*Link        `json:"links"`
+	Reqs  []*Requirement `json:"reqs,omitempty"`
+}
+
+// SAP returns a SAP by id, or nil.
+func (g *Graph) SAP(id string) *SAP {
+	for _, s := range g.SAPs {
+		if s.ID == id {
+			return s
+		}
+	}
+	return nil
+}
+
+// NF returns an NF by id, or nil.
+func (g *Graph) NF(id string) *NF {
+	for _, n := range g.NFs {
+		if n.ID == id {
+			return n
+		}
+	}
+	return nil
+}
+
+// Link returns a link by id, or nil.
+func (g *Graph) Link(id string) *Link {
+	for _, l := range g.Links {
+		if l.ID == id {
+			return l
+		}
+	}
+	return nil
+}
+
+// IsSAP reports whether id names a SAP.
+func (g *Graph) IsSAP(id string) bool { return g.SAP(id) != nil }
+
+// Validate checks structural well-formedness: unique ids, resolvable
+// endpoints, NF ports named, no self-loops, and SAPs used by at least one
+// link.
+func (g *Graph) Validate() error {
+	if g.Name == "" {
+		return fmt.Errorf("sg: graph needs a name")
+	}
+	ids := map[string]string{}
+	for _, s := range g.SAPs {
+		if s.ID == "" {
+			return fmt.Errorf("sg: SAP with empty id")
+		}
+		if prev, dup := ids[s.ID]; dup {
+			return fmt.Errorf("sg: id %q used by both %s and SAP", s.ID, prev)
+		}
+		ids[s.ID] = "SAP"
+	}
+	for _, n := range g.NFs {
+		if n.ID == "" {
+			return fmt.Errorf("sg: NF with empty id")
+		}
+		if n.Type == "" {
+			return fmt.Errorf("sg: NF %q has no type", n.ID)
+		}
+		if prev, dup := ids[n.ID]; dup {
+			return fmt.Errorf("sg: id %q used by both %s and NF", n.ID, prev)
+		}
+		if n.CPU < 0 || n.Mem < 0 {
+			return fmt.Errorf("sg: NF %q has negative resources", n.ID)
+		}
+		ids[n.ID] = "NF"
+	}
+	linkIDs := map[string]bool{}
+	sapUsed := map[string]bool{}
+	for _, l := range g.Links {
+		if l.ID == "" {
+			return fmt.Errorf("sg: link with empty id")
+		}
+		if linkIDs[l.ID] {
+			return fmt.Errorf("sg: duplicate link id %q", l.ID)
+		}
+		linkIDs[l.ID] = true
+		for _, ep := range []Endpoint{l.Src, l.Dst} {
+			kind, known := ids[ep.Node]
+			if !known {
+				return fmt.Errorf("sg: link %q references unknown node %q", l.ID, ep.Node)
+			}
+			if kind == "NF" && ep.Port == "" {
+				return fmt.Errorf("sg: link %q endpoint %q needs a port name", l.ID, ep.Node)
+			}
+			if kind == "SAP" {
+				sapUsed[ep.Node] = true
+			}
+		}
+		if l.Src.Node == l.Dst.Node {
+			return fmt.Errorf("sg: link %q is a self-loop on %q", l.ID, l.Src.Node)
+		}
+		if l.Bandwidth < 0 || l.MaxDelay < 0 {
+			return fmt.Errorf("sg: link %q has negative requirements", l.ID)
+		}
+	}
+	for _, s := range g.SAPs {
+		if !sapUsed[s.ID] {
+			return fmt.Errorf("sg: SAP %q is not connected", s.ID)
+		}
+	}
+	reqIDs := map[string]bool{}
+	for _, r := range g.Reqs {
+		if r.ID == "" {
+			return fmt.Errorf("sg: requirement with empty id")
+		}
+		if reqIDs[r.ID] {
+			return fmt.Errorf("sg: duplicate requirement id %q", r.ID)
+		}
+		reqIDs[r.ID] = true
+		if g.SAP(r.From) == nil || g.SAP(r.To) == nil {
+			return fmt.Errorf("sg: requirement %q endpoints must be SAPs", r.ID)
+		}
+		if r.MaxDelay < 0 || r.Bandwidth < 0 {
+			return fmt.Errorf("sg: requirement %q has negative values", r.ID)
+		}
+		if r.MaxDelay == 0 && r.Bandwidth == 0 {
+			return fmt.Errorf("sg: requirement %q constrains nothing", r.ID)
+		}
+	}
+	return nil
+}
+
+// Chain is one service chain: an alternating SAP→NF*→SAP node sequence
+// with the links that realize it.
+type Chain struct {
+	Nodes []string // node ids, first and last are SAPs
+	Links []*Link  // len(Nodes)-1 links
+}
+
+// String renders "sap1 -> fw1 -> sap2".
+func (c *Chain) String() string {
+	out := ""
+	for i, n := range c.Nodes {
+		if i > 0 {
+			out += " -> "
+		}
+		out += n
+	}
+	return out
+}
+
+// Chains extracts all maximal SAP-to-SAP chains by walking links forward
+// from each SAP. Branching NFs yield one chain per branch.
+func (g *Graph) Chains() ([]*Chain, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	// Outgoing adjacency.
+	out := map[string][]*Link{}
+	for _, l := range g.Links {
+		out[l.Src.Node] = append(out[l.Src.Node], l)
+	}
+	for _, ls := range out {
+		sort.Slice(ls, func(i, j int) bool { return ls[i].ID < ls[j].ID })
+	}
+	var chains []*Chain
+	var walk func(node string, nodes []string, links []*Link, visited map[string]bool) error
+	walk = func(node string, nodes []string, links []*Link, visited map[string]bool) error {
+		if g.IsSAP(node) && len(nodes) > 1 {
+			chains = append(chains, &Chain{
+				Nodes: append([]string(nil), nodes...),
+				Links: append([]*Link(nil), links...),
+			})
+			return nil
+		}
+		next := out[node]
+		if len(next) == 0 && len(nodes) > 1 {
+			return fmt.Errorf("sg: chain dead-ends at NF %q", node)
+		}
+		for _, l := range next {
+			if visited[l.ID] {
+				return fmt.Errorf("sg: cycle through link %q", l.ID)
+			}
+			visited[l.ID] = true
+			if err := walk(l.Dst.Node, append(nodes, l.Dst.Node), append(links, l), visited); err != nil {
+				return err
+			}
+			delete(visited, l.ID)
+		}
+		return nil
+	}
+	for _, s := range g.SAPs {
+		if err := walk(s.ID, []string{s.ID}, nil, map[string]bool{}); err != nil {
+			return nil, err
+		}
+	}
+	return chains, nil
+}
+
+// MarshalJSON round trip helpers: ToJSON serializes with indentation.
+func (g *Graph) ToJSON() ([]byte, error) {
+	return json.MarshalIndent(g, "", "  ")
+}
+
+// FromJSON parses and validates a graph.
+func FromJSON(data []byte) (*Graph, error) {
+	var g Graph
+	if err := json.Unmarshal(data, &g); err != nil {
+		return nil, fmt.Errorf("sg: parsing graph: %w", err)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return &g, nil
+}
+
+// NewChainGraph is a convenience constructor for the most common shape:
+// one linear chain sap1 → nf1 → … → nfN → sap2. Each nfTypes entry
+// becomes an NF of that catalog type with default in/out ports.
+func NewChainGraph(name string, nfTypes ...string) *Graph {
+	g := &Graph{Name: name}
+	g.SAPs = []*SAP{{ID: "sap1"}, {ID: "sap2"}}
+	prev := Endpoint{Node: "sap1"}
+	for i, t := range nfTypes {
+		id := fmt.Sprintf("nf%d", i+1)
+		g.NFs = append(g.NFs, &NF{ID: id, Type: t})
+		g.Links = append(g.Links, &Link{
+			ID:  fmt.Sprintf("l%d", i+1),
+			Src: prev,
+			Dst: Endpoint{Node: id, Port: "in"},
+		})
+		prev = Endpoint{Node: id, Port: "out"}
+	}
+	g.Links = append(g.Links, &Link{
+		ID:  fmt.Sprintf("l%d", len(nfTypes)+1),
+		Src: prev,
+		Dst: Endpoint{Node: "sap2"},
+	})
+	return g
+}

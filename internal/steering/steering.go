@@ -1,0 +1,231 @@
+// Package steering implements ESCAPE's traffic-steering module: the POX
+// component that installs flow entries realizing mapped service chains.
+// Each SG-link segment (SAP→VNF, VNF→VNF, VNF→SAP) becomes a concrete
+// port-level path across one or more switches; the steering module tags
+// the segment's traffic with a dedicated VLAN at the ingress switch,
+// forwards by (VLAN, in-port) at transit switches and strips the tag at
+// the egress switch, so chained traffic never interferes with ordinary
+// forwarding or with other chains.
+//
+// A per-hop exact mode (match on in-port only, no VLAN) exists as the
+// ablation documented in DESIGN.md: cheaper rules, but correct only when
+// paths do not share ports.
+package steering
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"escape/internal/openflow"
+	"escape/internal/pkt"
+	"escape/internal/pox"
+)
+
+// Mode selects the steering rule style.
+type Mode int
+
+// Steering modes.
+const (
+	// ModeVLAN tags each segment with a dedicated VLAN id (default).
+	ModeVLAN Mode = iota
+	// ModePerHop installs port-based rules without tagging.
+	ModePerHop
+)
+
+// Hop is one switch traversal of a concrete path.
+type Hop struct {
+	DPID    uint64
+	InPort  uint16
+	OutPort uint16
+}
+
+// Path is a concrete port-level path realizing one SG link.
+type Path struct {
+	// ID labels the path (usually the SG link id).
+	ID   string
+	Hops []Hop
+	// Match narrows which ingress traffic enters the chain; zero value
+	// means "everything arriving on the ingress port" (ESCAPE's
+	// port-based classification). InPort is always overridden.
+	Match openflow.Match
+}
+
+// Priority bands: steering rules sit above learning-switch entries.
+const (
+	prioSteering uint16 = 30000
+)
+
+// Installed is a handle to an installed path, used for teardown.
+type Installed struct {
+	Path Path
+	VLAN uint16 // 0 in per-hop mode
+	// RuleCount is the number of flow entries installed.
+	RuleCount int
+}
+
+// Steering is the controller component.
+type Steering struct {
+	ctrl *pox.Controller
+	mode Mode
+
+	mu       sync.Mutex
+	nextVLAN uint16
+	free     []uint16 // released VLAN ids for reuse
+	active   map[string]*Installed
+}
+
+// New creates the steering component bound to a controller.
+func New(ctrl *pox.Controller, mode Mode) *Steering {
+	return &Steering{ctrl: ctrl, mode: mode, nextVLAN: 100, active: map[string]*Installed{}}
+}
+
+// ComponentName implements pox.Component.
+func (*Steering) ComponentName() string { return "steering" }
+
+// Mode reports the configured rule style.
+func (s *Steering) Mode() Mode { return s.mode }
+
+// ActivePaths reports the number of installed paths.
+func (s *Steering) ActivePaths() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.active)
+}
+
+func (s *Steering) allocVLAN() (uint16, error) {
+	if n := len(s.free); n > 0 {
+		id := s.free[n-1]
+		s.free = s.free[:n-1]
+		return id, nil
+	}
+	if s.nextVLAN > pkt.MaxVLANID {
+		return 0, fmt.Errorf("steering: out of VLAN ids")
+	}
+	id := s.nextVLAN
+	s.nextVLAN++
+	return id, nil
+}
+
+// InstallPath installs the flow entries for one path and blocks until the
+// switches confirm (barrier). Paths are identified by Path.ID; installing
+// a duplicate id fails.
+func (s *Steering) InstallPath(p Path) (*Installed, error) {
+	if len(p.Hops) == 0 {
+		return nil, fmt.Errorf("steering: path %q has no hops", p.ID)
+	}
+	s.mu.Lock()
+	if _, dup := s.active[p.ID]; dup {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("steering: path %q already installed", p.ID)
+	}
+	var vlan uint16
+	if s.mode == ModeVLAN && len(p.Hops) > 1 {
+		var err error
+		if vlan, err = s.allocVLAN(); err != nil {
+			s.mu.Unlock()
+			return nil, err
+		}
+	}
+	inst := &Installed{Path: p, VLAN: vlan}
+	s.active[p.ID] = inst
+	s.mu.Unlock()
+
+	if err := s.program(inst, openflow.FCAdd); err != nil {
+		s.mu.Lock()
+		delete(s.active, p.ID)
+		if vlan != 0 {
+			s.free = append(s.free, vlan)
+		}
+		s.mu.Unlock()
+		return nil, err
+	}
+	return inst, nil
+}
+
+// RemovePath uninstalls a previously installed path.
+func (s *Steering) RemovePath(id string) error {
+	s.mu.Lock()
+	inst := s.active[id]
+	if inst == nil {
+		s.mu.Unlock()
+		return fmt.Errorf("steering: path %q not installed", id)
+	}
+	delete(s.active, id)
+	if inst.VLAN != 0 {
+		s.free = append(s.free, inst.VLAN)
+	}
+	s.mu.Unlock()
+	return s.program(inst, openflow.FCDeleteStrict)
+}
+
+// program installs or deletes the rules of one path.
+func (s *Steering) program(inst *Installed, command uint16) error {
+	p := inst.Path
+	touched := map[uint64]*pox.Connection{}
+	rules := 0
+	for i, hop := range p.Hops {
+		conn := s.ctrl.Connection(hop.DPID)
+		if conn == nil {
+			return fmt.Errorf("steering: switch %#x not connected", hop.DPID)
+		}
+		touched[hop.DPID] = conn
+		match := p.Match
+		if match == (openflow.Match{}) {
+			match = openflow.MatchAll()
+		}
+		match.Wildcards &^= openflow.WildInPort
+		match.InPort = hop.InPort
+		var actions []openflow.Action
+		if inst.VLAN != 0 {
+			first := i == 0
+			last := i == len(p.Hops)-1
+			switch {
+			case first && last:
+				actions = []openflow.Action{openflow.ActionOutput{Port: hop.OutPort}}
+			case first:
+				actions = []openflow.Action{
+					openflow.ActionSetVLAN{VLAN: inst.VLAN},
+					openflow.ActionOutput{Port: hop.OutPort},
+				}
+			case last:
+				match.Wildcards &^= openflow.WildDLVLAN
+				match.DLVLAN = inst.VLAN
+				actions = []openflow.Action{
+					openflow.ActionStripVLAN{},
+					openflow.ActionOutput{Port: hop.OutPort},
+				}
+			default:
+				match.Wildcards &^= openflow.WildDLVLAN
+				match.DLVLAN = inst.VLAN
+				actions = []openflow.Action{openflow.ActionOutput{Port: hop.OutPort}}
+			}
+		} else {
+			actions = []openflow.Action{openflow.ActionOutput{Port: hop.OutPort}}
+		}
+		fm := &openflow.FlowMod{
+			Match:    match,
+			Command:  command,
+			Priority: prioSteering,
+			BufferID: openflow.NoBuffer,
+			Actions:  actions,
+		}
+		if command == openflow.FCDeleteStrict {
+			fm.Actions = nil
+			fm.OutPort = openflow.PortNone
+		}
+		if err := conn.SendFlowMod(fm); err != nil {
+			return fmt.Errorf("steering: flow-mod on %#x: %w", hop.DPID, err)
+		}
+		rules++
+	}
+	inst.RuleCount = rules
+	// One barrier per touched switch guarantees the path is live before
+	// traffic is admitted (demo step 4 depends on this).
+	for dpid, conn := range touched {
+		if err := conn.Barrier(5 * time.Second); err != nil {
+			return fmt.Errorf("steering: barrier on %#x: %w", dpid, err)
+		}
+	}
+	return nil
+}

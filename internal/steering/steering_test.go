@@ -1,0 +1,273 @@
+package steering
+
+import (
+	"testing"
+	"time"
+
+	"escape/internal/netem"
+	"escape/internal/pkt"
+	"escape/internal/pox"
+)
+
+// twoSwitchNet: h1—s1—s2—h2 with a controller running steering (+ a
+// packet-in blackhole so unsteered traffic just dies).
+func twoSwitchNet(t *testing.T, mode Mode) (*netem.Network, *Steering) {
+	t.Helper()
+	ctrl := pox.NewController()
+	st := New(ctrl, mode)
+	ctrl.Register(st)
+	n := netem.New("t", netem.Options{Controller: ctrl})
+	for _, name := range []string{"s1", "s2"} {
+		if _, err := n.AddSwitch(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, name := range []string{"h1", "h2"} {
+		if _, err := n.AddHost(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Port numbering: s1: 1 = h1, 2 = s2. s2: 1 = s1, 2 = h2.
+	if _, err := n.AddLink("h1", "s1", netem.LinkConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.AddLink("s1", "s2", netem.LinkConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.AddLink("s2", "h2", netem.LinkConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { n.Stop(); ctrl.Close() })
+	return n, st
+}
+
+func dpid(n *netem.Network, name string) uint64 {
+	return n.Node(name).(*netem.SwitchNode).DPID()
+}
+
+func TestInstallPathForwardsAcrossSwitches(t *testing.T) {
+	n, st := twoSwitchNet(t, ModeVLAN)
+	inst, err := st.InstallPath(Path{
+		ID: "l1",
+		Hops: []Hop{
+			{DPID: dpid(n, "s1"), InPort: 1, OutPort: 2},
+			{DPID: dpid(n, "s2"), InPort: 1, OutPort: 2},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.VLAN == 0 {
+		t.Error("multi-hop VLAN path got no VLAN id")
+	}
+	if inst.RuleCount != 2 {
+		t.Errorf("rules = %d", inst.RuleCount)
+	}
+	h1 := n.Node("h1").(*netem.Host)
+	h2 := n.Node("h2").(*netem.Host)
+	h2.SetAutoRespond(false)
+	frame, _ := pkt.BuildUDP(h1.MAC(), h2.MAC(), h1.IP(), h2.IP(), 7, 8, []byte("steered"))
+	h1.Send(frame)
+	select {
+	case rx := <-h2.Recv():
+		// The tag must be stripped at the egress switch.
+		sum, err := pkt.Summarize(rx.Frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sum.VLANID != -1 {
+			t.Errorf("frame arrived still tagged with VLAN %d", sum.VLANID)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("steered frame never arrived")
+	}
+	if st.ActivePaths() != 1 {
+		t.Errorf("active paths = %d", st.ActivePaths())
+	}
+}
+
+func TestPerHopModeForwards(t *testing.T) {
+	n, st := twoSwitchNet(t, ModePerHop)
+	inst, err := st.InstallPath(Path{
+		ID: "l1",
+		Hops: []Hop{
+			{DPID: dpid(n, "s1"), InPort: 1, OutPort: 2},
+			{DPID: dpid(n, "s2"), InPort: 1, OutPort: 2},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.VLAN != 0 {
+		t.Error("per-hop mode allocated a VLAN")
+	}
+	h1 := n.Node("h1").(*netem.Host)
+	h2 := n.Node("h2").(*netem.Host)
+	h2.SetAutoRespond(false)
+	frame, _ := pkt.BuildUDP(h1.MAC(), h2.MAC(), h1.IP(), h2.IP(), 7, 8, nil)
+	h1.Send(frame)
+	select {
+	case <-h2.Recv():
+	case <-time.After(2 * time.Second):
+		t.Fatal("per-hop steered frame never arrived")
+	}
+}
+
+func TestRemovePathStopsTraffic(t *testing.T) {
+	n, st := twoSwitchNet(t, ModeVLAN)
+	_, err := st.InstallPath(Path{
+		ID: "l1",
+		Hops: []Hop{
+			{DPID: dpid(n, "s1"), InPort: 1, OutPort: 2},
+			{DPID: dpid(n, "s2"), InPort: 1, OutPort: 2},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.RemovePath("l1"); err != nil {
+		t.Fatal(err)
+	}
+	if st.ActivePaths() != 0 {
+		t.Errorf("active paths = %d", st.ActivePaths())
+	}
+	h1 := n.Node("h1").(*netem.Host)
+	h2 := n.Node("h2").(*netem.Host)
+	h2.SetAutoRespond(false)
+	frame, _ := pkt.BuildUDP(h1.MAC(), h2.MAC(), h1.IP(), h2.IP(), 7, 8, nil)
+	h1.Send(frame)
+	select {
+	case <-h2.Recv():
+		t.Error("traffic still flows after path removal")
+	case <-time.After(100 * time.Millisecond):
+	}
+	// Removing again errors.
+	if err := st.RemovePath("l1"); err == nil {
+		t.Error("double remove succeeded")
+	}
+}
+
+func TestSingleHopPathNoVLAN(t *testing.T) {
+	n, st := twoSwitchNet(t, ModeVLAN)
+	inst, err := st.InstallPath(Path{
+		ID:   "local",
+		Hops: []Hop{{DPID: dpid(n, "s1"), InPort: 1, OutPort: 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.VLAN != 0 {
+		t.Error("single-hop path allocated a VLAN")
+	}
+}
+
+func TestInstallErrors(t *testing.T) {
+	n, st := twoSwitchNet(t, ModeVLAN)
+	if _, err := st.InstallPath(Path{ID: "empty"}); err == nil {
+		t.Error("empty path accepted")
+	}
+	if _, err := st.InstallPath(Path{ID: "x", Hops: []Hop{{DPID: 0xdead, InPort: 1, OutPort: 2}}}); err == nil {
+		t.Error("unknown switch accepted")
+	}
+	p := Path{ID: "dup", Hops: []Hop{{DPID: dpid(n, "s1"), InPort: 1, OutPort: 2}}}
+	if _, err := st.InstallPath(p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.InstallPath(p); err == nil {
+		t.Error("duplicate id accepted")
+	}
+}
+
+func TestVLANReuseAfterRemove(t *testing.T) {
+	n, st := twoSwitchNet(t, ModeVLAN)
+	mk := func(id string) Path {
+		return Path{ID: id, Hops: []Hop{
+			{DPID: dpid(n, "s1"), InPort: 1, OutPort: 2},
+			{DPID: dpid(n, "s2"), InPort: 1, OutPort: 2},
+		}}
+	}
+	a, err := st.InstallPath(mk("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.RemovePath("a"); err != nil {
+		t.Fatal(err)
+	}
+	b, err := st.InstallPath(mk("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.VLAN != a.VLAN {
+		t.Errorf("vlan not reused: %d then %d", a.VLAN, b.VLAN)
+	}
+}
+
+func TestTwoChainsIsolatedByVLAN(t *testing.T) {
+	// Both chains share the s1→s2 trunk but exit different ports on s2.
+	ctrl := pox.NewController()
+	st := New(ctrl, ModeVLAN)
+	ctrl.Register(st)
+	n := netem.New("t", netem.Options{Controller: ctrl})
+	n.AddSwitch("s1")
+	n.AddSwitch("s2")
+	for _, h := range []string{"h1", "h2", "h3", "h4"} {
+		n.AddHost(h)
+	}
+	// s1 ports: 1=h1, 2=h3, 3=s2. s2 ports: 1=s1, 2=h2, 3=h4.
+	n.AddLink("h1", "s1", netem.LinkConfig{})
+	n.AddLink("h3", "s1", netem.LinkConfig{})
+	n.AddLink("s1", "s2", netem.LinkConfig{})
+	n.AddLink("s2", "h2", netem.LinkConfig{})
+	n.AddLink("s2", "h4", netem.LinkConfig{})
+	if err := n.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { n.Stop(); ctrl.Close() }()
+
+	if _, err := st.InstallPath(Path{ID: "c1", Hops: []Hop{
+		{DPID: dpid(n, "s1"), InPort: 1, OutPort: 3},
+		{DPID: dpid(n, "s2"), InPort: 1, OutPort: 2},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.InstallPath(Path{ID: "c2", Hops: []Hop{
+		{DPID: dpid(n, "s1"), InPort: 2, OutPort: 3},
+		{DPID: dpid(n, "s2"), InPort: 1, OutPort: 3},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	h1 := n.Node("h1").(*netem.Host)
+	h2 := n.Node("h2").(*netem.Host)
+	h3 := n.Node("h3").(*netem.Host)
+	h4 := n.Node("h4").(*netem.Host)
+	h2.SetAutoRespond(false)
+	h4.SetAutoRespond(false)
+	f1, _ := pkt.BuildUDP(h1.MAC(), h2.MAC(), h1.IP(), h2.IP(), 1, 2, []byte("chain1"))
+	f2, _ := pkt.BuildUDP(h3.MAC(), h4.MAC(), h3.IP(), h4.IP(), 3, 4, []byte("chain2"))
+	h1.Send(f1)
+	h3.Send(f2)
+	for i, h := range []*netem.Host{h2, h4} {
+		select {
+		case rx := <-h.Recv():
+			dec := pkt.Decode(rx.Frame)
+			u, ok := dec.Layer(pkt.LayerTypeUDP).(*pkt.UDP)
+			want := []string{"chain1", "chain2"}[i]
+			if !ok || string(u.Payload()) != want {
+				t.Errorf("host %d got %s, want payload %q", i, dec, want)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("chain %d delivery failed", i+1)
+		}
+	}
+	// Cross-talk check: nothing further arrives anywhere.
+	select {
+	case rx := <-h2.Recv():
+		t.Errorf("unexpected extra frame at h2: %s", pkt.Decode(rx.Frame))
+	case rx := <-h4.Recv():
+		t.Errorf("unexpected extra frame at h4: %s", pkt.Decode(rx.Frame))
+	case <-time.After(100 * time.Millisecond):
+	}
+}

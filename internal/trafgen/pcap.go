@@ -1,0 +1,128 @@
+package trafgen
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+
+	"escape/internal/netem"
+)
+
+// Standard pcap file constants (LINKTYPE_ETHERNET, microsecond
+// timestamps, native byte order magic).
+const (
+	pcapMagic    uint32 = 0xa1b2c3d4
+	pcapVerMajor uint16 = 2
+	pcapVerMinor uint16 = 4
+	pcapSnapLen  uint32 = 65535
+	pcapLinkEth  uint32 = 1
+)
+
+// PcapWriter writes frames in the classic pcap file format: captures made
+// in the emulator open in real tools (tcpdump -r, Wireshark).
+type PcapWriter struct {
+	w     io.Writer
+	count int
+}
+
+// NewPcapWriter writes the global header and returns the writer.
+func NewPcapWriter(w io.Writer) (*PcapWriter, error) {
+	hdr := make([]byte, 24)
+	binary.LittleEndian.PutUint32(hdr[0:4], pcapMagic)
+	binary.LittleEndian.PutUint16(hdr[4:6], pcapVerMajor)
+	binary.LittleEndian.PutUint16(hdr[6:8], pcapVerMinor)
+	binary.LittleEndian.PutUint32(hdr[16:20], pcapSnapLen)
+	binary.LittleEndian.PutUint32(hdr[20:24], pcapLinkEth)
+	if _, err := w.Write(hdr); err != nil {
+		return nil, fmt.Errorf("trafgen: writing pcap header: %w", err)
+	}
+	return &PcapWriter{w: w}, nil
+}
+
+// WriteFrame appends one captured frame with the given timestamp.
+func (pw *PcapWriter) WriteFrame(ts time.Time, frame []byte) error {
+	rec := make([]byte, 16)
+	binary.LittleEndian.PutUint32(rec[0:4], uint32(ts.Unix()))
+	binary.LittleEndian.PutUint32(rec[4:8], uint32(ts.Nanosecond()/1000))
+	binary.LittleEndian.PutUint32(rec[8:12], uint32(len(frame)))
+	binary.LittleEndian.PutUint32(rec[12:16], uint32(len(frame)))
+	if _, err := pw.w.Write(rec); err != nil {
+		return err
+	}
+	if _, err := pw.w.Write(frame); err != nil {
+		return err
+	}
+	pw.count++
+	return nil
+}
+
+// Count reports frames written.
+func (pw *PcapWriter) Count() int { return pw.count }
+
+// PcapRecord is one frame read back from a capture.
+type PcapRecord struct {
+	Timestamp time.Time
+	Frame     []byte
+}
+
+// ReadPcap parses a pcap stream written by PcapWriter (little-endian,
+// Ethernet link type).
+func ReadPcap(r io.Reader) ([]PcapRecord, error) {
+	hdr := make([]byte, 24)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, fmt.Errorf("trafgen: reading pcap header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:4]) != pcapMagic {
+		return nil, fmt.Errorf("trafgen: bad pcap magic")
+	}
+	if lt := binary.LittleEndian.Uint32(hdr[20:24]); lt != pcapLinkEth {
+		return nil, fmt.Errorf("trafgen: unsupported link type %d", lt)
+	}
+	var out []PcapRecord
+	rec := make([]byte, 16)
+	for {
+		if _, err := io.ReadFull(r, rec); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return nil, err
+		}
+		sec := binary.LittleEndian.Uint32(rec[0:4])
+		usec := binary.LittleEndian.Uint32(rec[4:8])
+		caplen := binary.LittleEndian.Uint32(rec[8:12])
+		if caplen > pcapSnapLen {
+			return nil, fmt.Errorf("trafgen: record length %d exceeds snaplen", caplen)
+		}
+		frame := make([]byte, caplen)
+		if _, err := io.ReadFull(r, frame); err != nil {
+			return nil, err
+		}
+		out = append(out, PcapRecord{
+			Timestamp: time.Unix(int64(sec), int64(usec)*1000),
+			Frame:     frame,
+		})
+	}
+}
+
+// Capture drains a host's receive channel into a pcap stream until the
+// duration elapses, returning the number of captured frames. It is the
+// tcpdump of the demo: attach it to a SAP host and inspect what the chain
+// delivers.
+func Capture(h *netem.Host, w io.Writer, d time.Duration) (int, error) {
+	pw, err := NewPcapWriter(w)
+	if err != nil {
+		return 0, err
+	}
+	deadline := time.After(d)
+	for {
+		select {
+		case rx := <-h.Recv():
+			if err := pw.WriteFrame(time.Now(), rx.Frame); err != nil {
+				return pw.Count(), err
+			}
+		case <-deadline:
+			return pw.Count(), nil
+		}
+	}
+}
