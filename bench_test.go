@@ -102,7 +102,8 @@ func BenchmarkE5SteeringSetup(b *testing.B) {
 }
 
 // BenchmarkE6ClickDataPlane measures packet throughput through chains of
-// Click VNFs (both scheduler drivers).
+// Click VNFs across all three scheduler drivers (single-threaded,
+// goroutine-per-task, work-stealing multithreaded).
 func BenchmarkE6ClickDataPlane(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		tbl, err := experiments.E6ClickDataPlane([]int{1, 2, 4, 8}, []int{64, 1500}, 2000)
@@ -110,6 +111,7 @@ func BenchmarkE6ClickDataPlane(b *testing.B) {
 			b.Fatal(err)
 		}
 		tbl.Render(tableOut())
+		b.ReportMetric(lastFloat(tbl, 3), "kpps@8vnf-multi")
 	}
 }
 

@@ -7,6 +7,7 @@
 //	escape-bench                 # all experiments, default parameters
 //	escape-bench -e e3,e4        # a subset
 //	escape-bench -e e3 -sizes 10,100,400
+//	escape-bench -e e6 -e6drivers single,multi
 //	escape-bench -quick          # reduced parameters (CI-friendly)
 package main
 
@@ -17,14 +18,43 @@ import (
 	"strconv"
 	"strings"
 
+	"escape/internal/click"
 	"escape/internal/experiments"
 )
+
+// parseE6Drivers maps a comma-separated driver list ("single,per-task,
+// multi" or "all") to click driver modes.
+func parseE6Drivers(s string) ([]click.DriverMode, error) {
+	if s == "" || s == "all" {
+		return nil, nil // E6ClickDataPlane defaults to all three
+	}
+	var out []click.DriverMode
+	for _, name := range strings.Split(s, ",") {
+		switch strings.TrimSpace(strings.ToLower(name)) {
+		case "single":
+			out = append(out, click.SingleThreaded)
+		case "per-task":
+			out = append(out, click.GoroutinePerTask)
+		case "multi":
+			out = append(out, click.MultiThreaded)
+		default:
+			return nil, fmt.Errorf("unknown E6 driver %q (want single, per-task, multi)", name)
+		}
+	}
+	return out, nil
+}
 
 func main() {
 	which := flag.String("e", "all", "comma-separated experiments (e1..e8) or 'all'")
 	sizes := flag.String("sizes", "", "override E3 node counts, comma-separated")
+	e6drv := flag.String("e6drivers", "all", "E6 scheduler ablation subset: single,per-task,multi or 'all'")
 	quick := flag.Bool("quick", false, "reduced parameter sets")
 	flag.Parse()
+
+	e6drivers, err := parseE6Drivers(*e6drv)
+	if err != nil {
+		fatal(err)
+	}
 
 	selected := map[string]bool{}
 	if *which == "all" {
@@ -73,7 +103,7 @@ func main() {
 		{"e4", func() (*experiments.Table, error) { return experiments.E4Mapping(e4[0], e4[1], e4[2]) }},
 		{"e5", func() (*experiments.Table, error) { return experiments.E5Steering(e5) }},
 		{"e6", func() (*experiments.Table, error) {
-			return experiments.E6ClickDataPlane([]int{1, 2, 4, 8}, []int{64, 1500}, e6pkts)
+			return experiments.E6ClickDataPlane([]int{1, 2, 4, 8}, []int{64, 1500}, e6pkts, e6drivers...)
 		}},
 		{"e7", func() (*experiments.Table, error) { return experiments.E7NETCONF(e7) }},
 		{"e8", func() (*experiments.Table, error) { return experiments.E8ServiceCreation(e8) }},

@@ -1,0 +1,3 @@
+module escape
+
+go 1.24

@@ -219,6 +219,7 @@ func (h *HeaderDecompressor) SimpleAction(p *click.Packet) *click.Packet {
 		udp, ok := dec.Layer(pkt.LayerTypeUDP).(*pkt.UDP)
 		if ip == nil || !ok {
 			h.unknown++
+			p.Kill()
 			return nil
 		}
 		var fc flowContext
@@ -239,6 +240,7 @@ func (h *HeaderDecompressor) SimpleAction(p *click.Packet) *click.Packet {
 	h.mu.Unlock()
 	if !ok {
 		h.unknown++
+		p.Kill()
 		return nil
 	}
 	ipl := &pkt.IPv4{TTL: fc.ttl, TOS: fc.tos, Protocol: pkt.IPProtoUDP, Src: fc.src, Dst: fc.dst}
@@ -250,6 +252,7 @@ func (h *HeaderDecompressor) SimpleAction(p *click.Packet) *click.Packet {
 	)
 	if err != nil {
 		h.unknown++
+		p.Kill()
 		return nil
 	}
 	p.SetData(restored)
@@ -334,10 +337,12 @@ func (fw *Firewall) SimpleAction(p *click.Packet) *click.Packet {
 				return p
 			}
 			fw.dropped++
+			p.Kill()
 			return nil
 		}
 	}
 	fw.dropped++ // implicit deny
+	p.Kill()
 	return nil
 }
 
@@ -426,6 +431,7 @@ func (n *NAT) Push(port int, p *click.Packet) {
 		n.mu.Unlock()
 		if pkt.SetNWAddr(frame, false, n.public) != nil || pkt.SetTPPort(frame, false, pub) != nil {
 			n.dropped++
+			p.Kill()
 			return
 		}
 		n.PushOut(0, p)
@@ -437,10 +443,12 @@ func (n *NAT) Push(port int, p *click.Packet) {
 	n.mu.Unlock()
 	if !known {
 		n.dropped++
+		p.Kill()
 		return
 	}
 	if pkt.SetNWAddr(frame, true, orig.Src) != nil || pkt.SetTPPort(frame, true, orig.SrcPort) != nil {
 		n.dropped++
+		p.Kill()
 		return
 	}
 	n.PushOut(1, p)
@@ -500,6 +508,7 @@ func (d *DPI) SimpleAction(p *click.Packet) *click.Packet {
 	if containsBytes(p.Data(), d.signature) {
 		d.matches++
 		if d.drop {
+			p.Kill()
 			return nil
 		}
 	}
@@ -611,6 +620,7 @@ func (lb *LoadBalancer) SimpleAction(p *click.Packet) *click.Packet {
 	backend := lb.backends[idx]
 	lb.mu.Unlock()
 	if pkt.SetNWAddr(p.Data(), true, backend) != nil {
+		p.Kill()
 		return nil
 	}
 	return p

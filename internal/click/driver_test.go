@@ -1,0 +1,232 @@
+package click
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+)
+
+// readCount reads a numeric handler or fails the test.
+func readCount(t *testing.T, r *Router, spec string) uint64 {
+	t.Helper()
+	s, err := r.ReadHandler(spec)
+	if err != nil {
+		t.Fatalf("ReadHandler(%s): %v", spec, err)
+	}
+	n, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		t.Fatalf("ReadHandler(%s) = %q: %v", spec, s, err)
+	}
+	return n
+}
+
+// waitFor polls cond until it holds or the deadline expires.
+func waitFor(t *testing.T, d time.Duration, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestMultiThreadedConcurrentTraffic drives a multi-element chain under the
+// MultiThreaded driver while external goroutines inject packets and poll
+// handlers. Run under -race this exercises the per-element locking model:
+// source task, Unqueue task, ToDevice drain, handler reads and injected
+// pushes all overlap. Packet conservation is asserted at the end.
+func TestMultiThreadedConcurrentTraffic(t *testing.T) {
+	const limit = 20000
+	const injectors = 4
+	const perInjector = 500
+
+	out := NewChanDevice("out", 64)
+	// Consume out frames forever so ToDevice never stalls.
+	go func() {
+		for range out.Out {
+		}
+	}()
+	r, err := NewRouter("mt", fmt.Sprintf(`
+		src :: InfiniteSource(LIMIT %d, BURST 32)
+			-> c1 :: Counter
+			-> q :: Queue(8192)
+			-> u :: Unqueue(BURST 16)
+			-> c2 :: Counter
+			-> Queue(8192)
+			-> ToDevice(out);
+	`, limit), Options{
+		Driver:  MultiThreaded,
+		Workers: 4,
+		Devices: map[string]Device{"out": out},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go r.Run(ctx)
+
+	var wg sync.WaitGroup
+	for i := 0; i < injectors; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			frame := make([]byte, 64)
+			for j := 0; j < perInjector; j++ {
+				if err := r.InjectPush("c1", 0, NewPacket(frame)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	// Handler readers run concurrently with the driver and injectors.
+	stopPoll := make(chan struct{})
+	var pollWG sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		pollWG.Add(1)
+		go func() {
+			defer pollWG.Done()
+			for {
+				select {
+				case <-stopPoll:
+					return
+				default:
+				}
+				readCount(t, r, "c1.count")
+				readCount(t, r, "q.length")
+				readCount(t, r, "c2.count")
+			}
+		}()
+	}
+	wg.Wait()
+
+	total := uint64(limit + injectors*perInjector)
+	waitFor(t, 20*time.Second, func() bool {
+		return readCount(t, r, "c1.count") == total &&
+			readCount(t, r, "c2.count")+readCount(t, r, "q.drops") == total
+	}, "all packets to clear the chain")
+	close(stopPoll)
+	pollWG.Wait()
+	cancel()
+	r.Stop()
+
+	if got := readCount(t, r, "c1.count"); got != total {
+		t.Errorf("c1.count = %d, want %d", got, total)
+	}
+	if c2, drops := readCount(t, r, "c2.count"), readCount(t, r, "q.drops"); c2+drops != total {
+		t.Errorf("conservation: c2.count(%d) + q.drops(%d) = %d, want %d", c2, drops, c2+drops, total)
+	}
+}
+
+// TestDriverEquivalence runs the same source→queue→sink chain under all
+// three drivers and asserts packet conservation: every generated packet
+// is either delivered or accounted as a queue tail drop (the per-task
+// driver can outrun the drain side and legitimately drop).
+func TestDriverEquivalence(t *testing.T) {
+	const limit = 5000
+	for _, mode := range []DriverMode{SingleThreaded, GoroutinePerTask, MultiThreaded} {
+		t.Run(mode.String(), func(t *testing.T) {
+			r, err := NewRouter("eq-"+mode.String(), fmt.Sprintf(`
+				InfiniteSource(LIMIT %d) -> q :: Queue(1024) -> u :: Unqueue -> d :: Counter -> Discard;
+			`, limit), Options{Driver: mode})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			go r.Run(ctx)
+			waitFor(t, 20*time.Second, func() bool {
+				return readCount(t, r, "d.count")+readCount(t, r, "q.drops") == limit
+			}, mode.String()+" to account for all packets")
+			if mode == SingleThreaded {
+				// The round-robin driver strictly interleaves source and
+				// drain tasks, so the queue never overflows. The
+				// concurrent drivers may race ahead on the source side.
+				if drops := readCount(t, r, "q.drops"); drops != 0 {
+					t.Errorf("%s dropped %d packets", mode, drops)
+				}
+			}
+			cancel()
+			r.Stop()
+		})
+	}
+}
+
+// TestMultiThreadedWorkStealing gives the driver more tasks than workers
+// with wildly uneven shard assignment pressure (many sources, two
+// workers): every source must still finish, which requires idle workers
+// to pick up migrated tasks.
+func TestMultiThreadedWorkStealing(t *testing.T) {
+	const nsrc = 8
+	const limit = 2000
+	cfg := ""
+	for i := 0; i < nsrc; i++ {
+		cfg += fmt.Sprintf("s%d :: InfiniteSource(LIMIT %d, BURST 8) -> c%d :: Counter -> Discard;\n", i, limit, i)
+	}
+	r, err := NewRouter("steal", cfg, Options{Driver: MultiThreaded, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go r.Run(ctx)
+	waitFor(t, 20*time.Second, func() bool {
+		for i := 0; i < nsrc; i++ {
+			if readCount(t, r, fmt.Sprintf("c%d.count", i)) != limit {
+				return false
+			}
+		}
+		return true
+	}, "every source task to complete on 2 workers")
+	cancel()
+	r.Stop()
+}
+
+// TestMultiThreadedParallelSpeedup is a smoke check that the work-stealing
+// driver actually uses more than one core when cores exist. It is skipped
+// on single-core machines where no speedup is possible.
+func TestMultiThreadedParallelSpeedup(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Skip("needs ≥2 CPUs to observe parallelism")
+	}
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	run := func(mode DriverMode) time.Duration {
+		const limit = 200000
+		r, err := NewRouter("speed-"+mode.String(), fmt.Sprintf(`
+			a :: InfiniteSource(LIMIT %d, BURST 64) -> Queue(8192) -> Unqueue(BURST 64) -> ca :: Counter -> Discard;
+			b :: InfiniteSource(LIMIT %d, BURST 64) -> Queue(8192) -> Unqueue(BURST 64) -> cb :: Counter -> Discard;
+		`, limit, limit), Options{Driver: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		start := time.Now()
+		go r.Run(ctx)
+		waitFor(t, 60*time.Second, func() bool {
+			return readCount(t, r, "ca.count") == limit && readCount(t, r, "cb.count") == limit
+		}, mode.String()+" completion")
+		d := time.Since(start)
+		cancel()
+		r.Stop()
+		return d
+	}
+	single := run(SingleThreaded)
+	multi := run(MultiThreaded)
+	t.Logf("single=%v multi=%v", single, multi)
+	// Loose bound: multi must not be dramatically slower than single; on
+	// multi-core machines it is typically well under 1× single.
+	if multi > 3*single {
+		t.Errorf("MultiThreaded (%v) much slower than SingleThreaded (%v)", multi, single)
+	}
+}

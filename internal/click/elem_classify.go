@@ -173,6 +173,7 @@ func (c *Classifier) Push(port int, p *Packet) {
 		}
 	}
 	c.drops++
+	p.Kill()
 }
 
 // Handlers implements HandlerProvider.
@@ -381,6 +382,7 @@ func (c *IPClassifier) Push(port int, p *Packet) {
 		}
 	}
 	c.drops++
+	p.Kill()
 }
 
 // Handlers implements HandlerProvider.
@@ -434,7 +436,9 @@ func (s *Switch) Configure(r *Router, args []string) error {
 func (s *Switch) Push(port int, p *Packet) {
 	if s.sel >= 0 && s.sel < s.nout {
 		s.PushOut(s.sel, p)
+		return
 	}
+	p.Kill()
 }
 
 // Handlers implements HandlerProvider.
@@ -490,6 +494,7 @@ func (s *PaintSwitch) Push(port int, p *Packet) {
 		return
 	}
 	s.drops++
+	p.Kill()
 }
 
 // Handlers implements HandlerProvider.
@@ -659,6 +664,7 @@ func (s *RandomSample) SimpleAction(p *Packet) *Packet {
 		return p
 	}
 	s.dropped++
+	p.Kill()
 	return nil
 }
 

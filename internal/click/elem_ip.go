@@ -52,6 +52,7 @@ func (s *Strip) Configure(r *Router, args []string) error {
 // SimpleAction implements the per-packet transform.
 func (s *Strip) SimpleAction(p *Packet) *Packet {
 	if err := p.Strip(s.n); err != nil {
+		p.Kill()
 		return nil // shorter than the strip length: drop
 	}
 	return p
@@ -86,6 +87,7 @@ func (u *Unstrip) Configure(r *Router, args []string) error {
 // SimpleAction implements the per-packet transform.
 func (u *Unstrip) SimpleAction(p *Packet) *Packet {
 	if err := p.Unstrip(u.n); err != nil {
+		p.Kill()
 		return nil
 	}
 	return p
@@ -170,6 +172,7 @@ func (v *VLANEncap) Configure(r *Router, args []string) error {
 func (v *VLANEncap) SimpleAction(p *Packet) *Packet {
 	out, err := pkt.PushVLAN(p.Data(), v.id)
 	if err != nil {
+		p.Kill()
 		return nil
 	}
 	p.SetData(out)
@@ -189,6 +192,7 @@ func (*VLANDecap) Spec() PortSpec { return agnostic(1, 1) }
 func (v *VLANDecap) SimpleAction(p *Packet) *Packet {
 	out, err := pkt.PopVLAN(p.Data())
 	if err != nil {
+		p.Kill()
 		return nil
 	}
 	p.SetData(out)
@@ -233,24 +237,29 @@ func (c *CheckIPHeader) SimpleAction(p *Packet) *Packet {
 	data := p.Data()
 	if len(data) < c.offset+20 {
 		c.drops++
+		p.Kill()
 		return nil
 	}
 	h := data[c.offset:]
 	if h[0]>>4 != 4 {
 		c.drops++
+		p.Kill()
 		return nil
 	}
 	ihl := int(h[0]&0xf) * 4
 	if ihl < 20 || len(h) < ihl {
 		c.drops++
+		p.Kill()
 		return nil
 	}
 	if tot := int(binary.BigEndian.Uint16(h[2:4])); tot < ihl || tot > len(h) {
 		c.drops++
+		p.Kill()
 		return nil
 	}
 	if pkt.Checksum(h[:ihl]) != 0 {
 		c.drops++
+		p.Kill()
 		return nil
 	}
 	return p
@@ -292,11 +301,13 @@ func (d *DecIPTTL) Configure(r *Router, args []string) error {
 func (d *DecIPTTL) SimpleAction(p *Packet) *Packet {
 	data := p.Data()
 	if len(data) < d.offset+20 {
+		p.Kill()
 		return nil
 	}
 	h := data[d.offset:]
 	if h[8] <= 1 {
 		d.expired++
+		p.Kill()
 		return nil
 	}
 	// RFC 1624 incremental update: HC' = ~(~HC + ~m + m') where the

@@ -59,12 +59,21 @@ func (q *Queue) Len() int { return q.n }
 func (q *Queue) Push(port int, p *Packet) {
 	if q.n == q.capacity {
 		q.drops++
+		p.Kill()
 		return
 	}
 	q.ring[(q.head+q.n)%q.capacity] = p
 	q.n++
 	if q.n > q.highwater {
 		q.highwater = q.n
+	}
+}
+
+// PushBatch implements Element: the whole burst is enqueued under the one
+// lock acquisition the caller already holds.
+func (q *Queue) PushBatch(port int, ps []*Packet) {
+	for _, p := range ps {
+		q.Push(port, p)
 	}
 }
 
@@ -78,6 +87,14 @@ func (q *Queue) Pull(port int) *Packet {
 	q.head = (q.head + 1) % q.capacity
 	q.n--
 	return p
+}
+
+// PullBatch implements batchPuller: dequeue up to max packets in one call.
+func (q *Queue) PullBatch(port, max int, buf []*Packet) []*Packet {
+	for len(buf) < max && q.n > 0 {
+		buf = append(buf, q.Pull(port))
+	}
+	return buf
 }
 
 // Handlers implements HandlerProvider.
@@ -116,6 +133,7 @@ type Unqueue struct {
 	Base
 	burst int
 	count uint64
+	batch []*Packet // scratch for batched pull→push handoff
 }
 
 // Class implements Element.
@@ -142,19 +160,17 @@ func (u *Unqueue) Configure(r *Router, args []string) error {
 	return nil
 }
 
-// RunTask implements Tasker.
+// RunTask implements Tasker: one batched pull from upstream, one batched
+// push downstream — two lock acquisitions per burst instead of two per
+// packet.
 func (u *Unqueue) RunTask() bool {
-	worked := false
-	for i := 0; i < u.burst; i++ {
-		p := u.PullIn(0)
-		if p == nil {
-			return worked
-		}
-		u.count++
-		u.PushOut(0, p)
-		worked = true
+	u.batch = u.PullInBatch(0, u.burst, u.batch[:0])
+	if len(u.batch) == 0 {
+		return false
 	}
-	return worked
+	u.count += uint64(len(u.batch))
+	u.PushOutBatch(0, u.batch)
+	return true
 }
 
 // Handlers implements HandlerProvider.

@@ -290,7 +290,18 @@ func (*Discard) Class() string { return "Discard" }
 func (*Discard) Spec() PortSpec { return pushPorts(1, 0) }
 
 // Push implements Element.
-func (d *Discard) Push(port int, p *Packet) { d.count++ }
+func (d *Discard) Push(port int, p *Packet) {
+	d.count++
+	p.Kill()
+}
+
+// PushBatch implements Element.
+func (d *Discard) PushBatch(port int, ps []*Packet) {
+	d.count += uint64(len(ps))
+	for _, p := range ps {
+		p.Kill()
+	}
+}
 
 // Handlers implements HandlerProvider.
 func (d *Discard) Handlers() []Handler {
@@ -310,6 +321,7 @@ type FromDevice struct {
 	burst   int
 	count   uint64
 	drops   uint64
+	batch   []*Packet // scratch for batched ingest
 }
 
 // Class implements Element.
@@ -342,20 +354,25 @@ func (f *FromDevice) Init() error {
 	return nil
 }
 
-// RunTask implements Tasker.
+// RunTask implements Tasker: drain up to a burst of frames off the device,
+// then hand the whole batch downstream under one lock acquisition.
 func (f *FromDevice) RunTask() bool {
-	worked := false
-	for i := 0; i < f.burst; i++ {
+	f.batch = f.batch[:0]
+drain:
+	for len(f.batch) < f.burst {
 		select {
 		case frame := <-f.dev.Recv():
-			f.count++
-			f.PushOut(0, NewPacket(frame))
-			worked = true
+			f.batch = append(f.batch, NewPacket(frame))
 		default:
-			return worked
+			break drain
 		}
 	}
-	return worked
+	if len(f.batch) == 0 {
+		return false
+	}
+	f.count += uint64(len(f.batch))
+	f.PushOutBatch(0, f.batch)
+	return true
 }
 
 // Handlers implements HandlerProvider.
@@ -379,6 +396,7 @@ type ToDevice struct {
 	pullMode bool
 	count    uint64
 	drops    uint64
+	batch    []*Packet // scratch for batched drain
 }
 
 // Class implements Element.
@@ -419,29 +437,41 @@ func (t *ToDevice) Init() error {
 // Push implements Element.
 func (t *ToDevice) Push(port int, p *Packet) { t.send(p) }
 
-// RunTask implements Tasker.
+// PushBatch implements Element.
+func (t *ToDevice) PushBatch(port int, ps []*Packet) {
+	for _, p := range ps {
+		t.send(p)
+	}
+}
+
+// RunTask implements Tasker: drain a burst from the upstream Queue under
+// one lock acquisition, then transmit.
 func (t *ToDevice) RunTask() bool {
 	if !t.pullMode {
 		return false
 	}
-	worked := false
-	for i := 0; i < t.burst; i++ {
-		p := t.PullIn(0)
-		if p == nil {
-			return worked
-		}
-		t.send(p)
-		worked = true
+	t.batch = t.PullInBatch(0, t.burst, t.batch[:0])
+	if len(t.batch) == 0 {
+		return false
 	}
-	return worked
+	for _, p := range t.batch {
+		t.send(p)
+	}
+	return true
 }
 
+// send transmits and reclaims the packet. On success the device owns the
+// frame bytes, so only the struct is recycled (Detach); on error the
+// device retained nothing and the whole packet returns to the pool.
 func (t *ToDevice) send(p *Packet) {
 	if err := t.dev.Send(p.Data()); err != nil {
 		t.drops++
+		p.Kill()
 		return
 	}
 	t.count++
+	p.Detach()
+	p.Kill()
 }
 
 // Handlers implements HandlerProvider.

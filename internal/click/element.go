@@ -3,6 +3,7 @@ package click
 import (
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // ErrDeviceFull reports a dropped frame on a full output device.
@@ -88,6 +89,11 @@ type Element interface {
 	// Pull requests a packet from output port. Only called on pull
 	// outputs. Returns nil when no packet is available.
 	Pull(port int) *Packet
+	// PushBatch hands several packets to input port in one call so hot
+	// paths acquire the element lock once per burst instead of once per
+	// packet. The default (Base) implementation loops over Push; elements
+	// with cheap batch semantics (Queue, ToDevice, Discard) override it.
+	PushBatch(port int, ps []*Packet)
 
 	base() *Base
 }
@@ -125,11 +131,26 @@ type HandlerProvider interface {
 
 // Base supplies element identity, port wiring and default method
 // implementations. Embed it by value.
+//
+// Concurrency model: every element owns a small mutex. Element code
+// (Push/Pull/RunTask/Tick/handlers) always runs with its element's mutex
+// held — the caller acquires it: PushOut/PullIn lock the neighbour before
+// invoking it, the drivers lock a task's element around RunTask, and the
+// router locks an element around handler reads/writes and ticks. Locks
+// nest along a push or pull chain in flow order, so loop-free
+// configurations (the only kind that terminate at all) cannot deadlock,
+// and two tasks traversing overlapping chains serialize only on the
+// elements they share. Pull-then-push converters (Unqueue) never hold the
+// upstream and downstream locks simultaneously.
 type Base struct {
 	name   string
 	router *Router
 	self   Element
 	config []string
+
+	// mu serializes all element code for this element. See the Base doc
+	// comment; it replaces the old router-global lock.
+	mu sync.Mutex
 
 	ins  []inPort
 	outs []outPort
@@ -226,24 +247,105 @@ type simpleActor interface {
 	SimpleAction(p *Packet) *Packet
 }
 
+// PushBatch is the default batch handler. SimpleAction elements keep the
+// burst intact (transform in place, compact drops, one locked handoff
+// downstream); everything else falls back to per-packet Push on the
+// overriding element.
+func (b *Base) PushBatch(port int, ps []*Packet) {
+	if sa, ok := b.self.(simpleActor); ok {
+		kept := ps[:0]
+		for _, p := range ps {
+			if q := sa.SimpleAction(p); q != nil {
+				kept = append(kept, q)
+			}
+		}
+		b.PushOutBatch(0, kept)
+		return
+	}
+	for _, p := range ps {
+		b.self.Push(port, p)
+	}
+}
+
 // PushOut sends p to whatever is connected to output port i. Unconnected
 // ports drop (the router validates connectedness at build time, so this is
-// defensive only).
+// defensive only). The downstream element's lock is held for the duration
+// of its Push.
 func (b *Base) PushOut(i int, p *Packet) {
 	if i >= len(b.outs) || b.outs[i].elem == nil {
+		p.Kill()
 		return
 	}
 	o := b.outs[i]
+	tb := o.elem.base()
+	tb.mu.Lock()
 	o.elem.Push(o.port, p)
+	tb.mu.Unlock()
 }
 
-// PullIn requests a packet from whatever feeds input port i.
+// PushOutBatch sends a burst to output port i under a single acquisition
+// of the downstream element's lock. Hot sections (FromDevice ingest,
+// Unqueue drain) use it to amortize per-element locking.
+func (b *Base) PushOutBatch(i int, ps []*Packet) {
+	if len(ps) == 0 {
+		return
+	}
+	if i >= len(b.outs) || b.outs[i].elem == nil {
+		for _, p := range ps {
+			p.Kill()
+		}
+		return
+	}
+	o := b.outs[i]
+	tb := o.elem.base()
+	tb.mu.Lock()
+	o.elem.PushBatch(o.port, ps)
+	tb.mu.Unlock()
+}
+
+// PullIn requests a packet from whatever feeds input port i. The upstream
+// element's lock is held for the duration of its Pull.
 func (b *Base) PullIn(i int) *Packet {
 	if i >= len(b.ins) || b.ins[i].elem == nil {
 		return nil
 	}
 	in := b.ins[i]
-	return in.elem.Pull(in.port)
+	sb := in.elem.base()
+	sb.mu.Lock()
+	p := in.elem.Pull(in.port)
+	sb.mu.Unlock()
+	return p
+}
+
+// batchPuller is implemented by pull outputs that can hand over a burst
+// under one lock acquisition (Queue). PullBatch appends up to max packets
+// to buf and returns the extended slice.
+type batchPuller interface {
+	PullBatch(port, max int, buf []*Packet) []*Packet
+}
+
+// PullInBatch pulls up to max packets from input port i into buf (reused
+// across calls by the caller), acquiring the upstream lock once.
+func (b *Base) PullInBatch(i, max int, buf []*Packet) []*Packet {
+	if i >= len(b.ins) || b.ins[i].elem == nil {
+		return buf
+	}
+	in := b.ins[i]
+	sb := in.elem.base()
+	sb.mu.Lock()
+	if bp, ok := in.elem.(batchPuller); ok {
+		buf = bp.PullBatch(in.port, max, buf)
+	} else {
+		for len(buf) < max {
+			p := in.elem.Pull(in.port)
+			if p == nil {
+				break
+			}
+			buf = append(buf, p)
+		}
+	}
+	sb.mu.Unlock()
+	return buf
 }
 
 // NOut returns the number of wired output ports.

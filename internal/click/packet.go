@@ -4,15 +4,27 @@
 //
 // The engine provides:
 //
-//   - the Element interface with push/pull/agnostic port processing,
+//   - the Element interface with push/pull/agnostic port processing and
+//     batched handoff (PushBatch) on hot push paths,
 //   - a parser for the Click configuration language subset ESCAPE uses
 //     (declarations, connections, anonymous elements, port specifiers),
-//   - a cooperative task scheduler (single-threaded driver by default, a
-//     goroutine-per-task driver for ablation),
+//   - three scheduler drivers: SingleThreaded (Click's userlevel driver,
+//     default), GoroutinePerTask (scheduling ablation), and MultiThreaded
+//     (N workers with work-stealing, Click SMP style),
+//   - a pooled packet allocator (NewPacket/Clone draw from a sync.Pool,
+//     Kill reclaims),
 //   - read/write handlers on every element, and
 //   - a ControlSocket server speaking Click's ClickControl/1.3 protocol so
 //     monitoring tools (ESCAPE's Clicky substitute, internal/mgmt) can poll
 //     live VNFs.
+//
+// Concurrency: there is no global router lock. Each element carries its
+// own mutex (see Base), acquired by whoever invokes the element — the
+// neighbour on PushOut/PullIn, the driver around RunTask and ticks, the
+// router around handler access. Under the MultiThreaded driver this gives
+// per-element serialization: an 8-element chain split across tasks runs on
+// as many cores as there are tasks, with Queues as the natural
+// thread-crossing points, while handler reads stay race-free.
 //
 // A standard element library (Queue, Classifier, Counter, Tee, EtherEncap,
 // CheckIPHeader, …) lives in this package; ESCAPE's VNF-specific elements
@@ -22,6 +34,7 @@ package click
 
 import (
 	"fmt"
+	"sync"
 	"time"
 )
 
@@ -47,11 +60,57 @@ type Packet struct {
 	Mark uint32
 }
 
-// NewPacket wraps a copy of data in a Packet stamped with the current time.
+// maxPooledBuf caps the buffer size retained by the packet pool so one
+// jumbo frame does not pin memory for the lifetime of the pool entry.
+const maxPooledBuf = 16 << 10
+
+// packetPool recycles Packet structs and their buffers. NewPacket and
+// Clone draw from it; Kill returns to it. Elements that drop a packet own
+// it and should Kill it; a forgotten Kill merely falls back to GC.
+var packetPool = sync.Pool{New: func() any { return new(Packet) }}
+
+// NewPacket wraps a copy of data in a Packet stamped with the current
+// time. The packet comes from a pool fed by Kill, so steady-state
+// processing with balanced Kill calls allocates nothing.
 func NewPacket(data []byte) *Packet {
-	buf := make([]byte, headroom+len(data))
-	copy(buf[headroom:], data)
-	return &Packet{buf: buf, off: headroom, Timestamp: time.Now()}
+	p := packetPool.Get().(*Packet)
+	need := headroom + len(data)
+	if cap(p.buf) < need {
+		p.buf = make([]byte, need)
+	} else {
+		p.buf = p.buf[:need]
+	}
+	copy(p.buf[headroom:], data)
+	p.off = headroom
+	p.Timestamp = time.Now()
+	p.Paint = 0
+	p.Mark = 0
+	return p
+}
+
+// Kill releases the packet back to the allocator pool. The caller must
+// own the packet and must not touch it afterwards: Kill is the terminal
+// operation of every drop path (tail drop, classifier miss, Discard) and
+// of ToDevice after the frame has been detached.
+func (p *Packet) Kill() {
+	if p == nil {
+		return
+	}
+	if cap(p.buf) > maxPooledBuf {
+		p.buf = nil
+	}
+	packetPool.Put(p)
+}
+
+// Detach removes and returns the frame bytes, leaving the packet empty.
+// Use it before Kill when the bytes outlive the packet — Device.Send
+// implementations may retain the frame, so ToDevice detaches rather than
+// letting the pool recycle storage a device still references.
+func (p *Packet) Detach() []byte {
+	d := p.buf[p.off:]
+	p.buf = nil
+	p.off = 0
+	return d
 }
 
 // Data returns the current frame bytes. The slice aliases packet-owned
@@ -62,11 +121,17 @@ func (p *Packet) Data() []byte { return p.buf[p.off:] }
 // Len returns the frame length in bytes.
 func (p *Packet) Len() int { return len(p.buf) - p.off }
 
-// SetData replaces the frame bytes entirely (fresh headroom).
+// SetData replaces the frame bytes entirely (fresh headroom). The packet's
+// existing buffer is reused when large enough; data may alias the current
+// frame (copy has memmove semantics).
 func (p *Packet) SetData(data []byte) {
-	buf := make([]byte, headroom+len(data))
-	copy(buf[headroom:], data)
-	p.buf = buf
+	need := headroom + len(data)
+	if cap(p.buf) >= need {
+		p.buf = p.buf[:need]
+	} else {
+		p.buf = make([]byte, need)
+	}
+	copy(p.buf[headroom:], data)
 	p.off = headroom
 }
 
@@ -120,7 +185,10 @@ func (p *Packet) Clone() *Packet {
 type Device interface {
 	// DeviceName identifies the device inside a VNF ("eth0", "in", …).
 	DeviceName() string
-	// Send transmits a frame out of the VNF.
+	// Send transmits a frame out of the VNF. On success the device takes
+	// ownership of frame and may retain it (ToDevice detaches the buffer
+	// from its packet before sending); on error the frame must not be
+	// retained, so the caller can recycle it.
 	Send(frame []byte) error
 	// Recv returns the channel of frames arriving at the VNF. The channel
 	// is never closed while the device is attached.

@@ -3,23 +3,44 @@ package click
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // DriverMode selects how scheduler tasks execute.
 type DriverMode int
 
-// Driver modes. SingleThreaded matches Click's userlevel driver: one
-// goroutine runs all tasks round-robin, so element code never races.
-// GoroutinePerTask runs each task in its own goroutine serialized by the
-// router lock; it exists for the E6 scheduling ablation.
+// Driver modes. Element code is always serialized per element (see Base);
+// the modes differ only in how many goroutines run tasks and how tasks
+// are distributed over them.
 const (
+	// SingleThreaded matches Click's userlevel driver: one goroutine runs
+	// all tasks round-robin.
 	SingleThreaded DriverMode = iota
+	// GoroutinePerTask runs each task in its own goroutine; it exists for
+	// the E6 scheduling ablation (maximum goroutines, no balancing).
 	GoroutinePerTask
+	// MultiThreaded runs tasks on N workers (Options.Workers, default
+	// GOMAXPROCS capped at the task count) with work-stealing: an idle
+	// worker migrates tasks from a loaded one, so a chain's receive and
+	// transmit sides run on different cores — Click's SMP driver.
+	MultiThreaded
 )
+
+// String names the driver mode as used in experiment tables.
+func (m DriverMode) String() string {
+	switch m {
+	case GoroutinePerTask:
+		return "per-task"
+	case MultiThreaded:
+		return "multi"
+	}
+	return "single"
+}
 
 // Options tune router construction.
 type Options struct {
@@ -28,6 +49,9 @@ type Options struct {
 	Devices map[string]Device
 	// Driver selects the scheduling mode; default SingleThreaded.
 	Driver DriverMode
+	// Workers sets the MultiThreaded worker count; default GOMAXPROCS,
+	// capped at the number of tasks. Ignored by the other drivers.
+	Workers int
 	// TickInterval is the period for Ticker elements; default 10ms.
 	TickInterval time.Duration
 }
@@ -40,7 +64,7 @@ type Router struct {
 	order []string // declaration order, for deterministic iteration
 	tasks []taskEntry
 
-	mu      sync.Mutex // serializes element code against handler access
+	mu      sync.Mutex // guards control state only; element code is serialized per element
 	running bool
 	stopped chan struct{}
 	cancel  context.CancelFunc
@@ -52,6 +76,7 @@ type Router struct {
 type taskEntry struct {
 	name string
 	t    Tasker
+	eb   *Base // the task element's base, locked around RunTask
 }
 
 // NewRouter parses, instantiates, configures, wires, validates and
@@ -147,7 +172,7 @@ func NewRouterFromConfig(name string, cfg *Config, opts Options) (*Router, error
 	for _, n := range r.order {
 		e := r.elems[n]
 		if t, ok := e.(Tasker); ok {
-			r.tasks = append(r.tasks, taskEntry{name: n, t: t})
+			r.tasks = append(r.tasks, taskEntry{name: n, t: t, eb: e.base()})
 		}
 	}
 	for _, n := range r.order {
@@ -289,12 +314,15 @@ func (r *Router) Run(ctx context.Context) {
 	r.mu.Unlock()
 
 	defer func() {
-		r.mu.Lock()
 		for _, n := range r.order {
 			if c, ok := r.elems[n].(Closer); ok {
+				b := r.elems[n].base()
+				b.mu.Lock()
 				c.Close()
+				b.mu.Unlock()
 			}
 		}
+		r.mu.Lock()
 		r.running = false
 		r.mu.Unlock()
 		close(r.stopped)
@@ -303,9 +331,19 @@ func (r *Router) Run(ctx context.Context) {
 	switch r.opts.Driver {
 	case GoroutinePerTask:
 		r.runGoroutinePerTask(ctx)
+	case MultiThreaded:
+		r.runMultiThreaded(ctx)
 	default:
 		r.runSingleThreaded(ctx)
 	}
+}
+
+// runLocked executes one task run with the task element's lock held.
+func runLocked(te taskEntry, eb *Base) bool {
+	eb.mu.Lock()
+	worked := te.t.RunTask()
+	eb.mu.Unlock()
+	return worked
 }
 
 func (r *Router) runSingleThreaded(ctx context.Context) {
@@ -317,19 +355,15 @@ func (r *Router) runSingleThreaded(ctx context.Context) {
 		case <-ctx.Done():
 			return
 		case now := <-ticker.C:
-			r.mu.Lock()
 			r.tick(now)
-			r.mu.Unlock()
 		default:
 		}
 		worked := false
-		r.mu.Lock()
 		for _, te := range r.tasks {
-			if te.t.RunTask() {
+			if runLocked(te, te.eb) {
 				worked = true
 			}
 		}
-		r.mu.Unlock()
 		if worked {
 			idleSpins = 0
 			continue
@@ -360,10 +394,7 @@ func (r *Router) runGoroutinePerTask(ctx context.Context) {
 					return
 				default:
 				}
-				r.mu.Lock()
-				worked := te.t.RunTask()
-				r.mu.Unlock()
-				if worked {
+				if runLocked(te, te.eb) {
 					idleSpins = 0
 					continue
 				}
@@ -378,19 +409,147 @@ func (r *Router) runGoroutinePerTask(ctx context.Context) {
 			}
 		}(te)
 	}
+	r.tickUntilDone(ctx)
+	wg.Wait()
+}
+
+// tickUntilDone delivers periodic ticks until ctx is cancelled; the
+// multi-goroutine drivers run it on the Run goroutine.
+func (r *Router) tickUntilDone(ctx context.Context) {
 	ticker := time.NewTicker(r.opts.TickInterval)
 	defer ticker.Stop()
 	for {
 		select {
 		case <-ctx.Done():
-			wg.Wait()
 			return
 		case now := <-ticker.C:
-			r.mu.Lock()
 			r.tick(now)
-			r.mu.Unlock()
 		}
 	}
+}
+
+// mtTask is a scheduler task under the MultiThreaded driver. The claimed
+// flag keeps two workers from piling up on one task's element lock; the
+// element lock itself (runLocked) is the correctness boundary.
+type mtTask struct {
+	te      taskEntry
+	claimed atomic.Bool
+}
+
+// mtWorker owns a mutable slice of tasks. Work-stealing migrates tasks
+// between workers, so the slice is mutex-guarded; workers snapshot it
+// into a scratch buffer each pass.
+type mtWorker struct {
+	mu    sync.Mutex
+	tasks []*mtTask
+}
+
+func (w *mtWorker) snapshot(buf []*mtTask) []*mtTask {
+	w.mu.Lock()
+	buf = append(buf[:0], w.tasks...)
+	w.mu.Unlock()
+	return buf
+}
+
+// stealFrom moves roughly half of victim's tasks to w and reports whether
+// anything moved. Locks are taken in (victim, thief) order one at a time,
+// never nested.
+func (w *mtWorker) stealFrom(victim *mtWorker) bool {
+	victim.mu.Lock()
+	n := len(victim.tasks) / 2
+	if n == 0 {
+		victim.mu.Unlock()
+		return false
+	}
+	stolen := append([]*mtTask(nil), victim.tasks[len(victim.tasks)-n:]...)
+	victim.tasks = victim.tasks[:len(victim.tasks)-n]
+	victim.mu.Unlock()
+	w.mu.Lock()
+	w.tasks = append(w.tasks, stolen...)
+	w.mu.Unlock()
+	return true
+}
+
+// runMultiThreaded shards tasks round-robin over N workers. Each worker
+// loops over its own tasks; a worker whose pass found no runnable work
+// steals half of another worker's tasks before backing off, so load
+// follows the traffic regardless of the initial shard.
+func (r *Router) runMultiThreaded(ctx context.Context) {
+	nw := r.opts.Workers
+	if nw <= 0 {
+		nw = runtime.GOMAXPROCS(0)
+	}
+	if nw > len(r.tasks) {
+		nw = len(r.tasks)
+	}
+	if nw == 0 {
+		r.tickUntilDone(ctx)
+		return
+	}
+	workers := make([]*mtWorker, nw)
+	for i := range workers {
+		workers[i] = &mtWorker{}
+	}
+	for i, te := range r.tasks {
+		w := workers[i%nw]
+		w.tasks = append(w.tasks, &mtTask{te: te})
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < nw; i++ {
+		wg.Add(1)
+		go func(self int) {
+			defer wg.Done()
+			w := workers[self]
+			var scratch []*mtTask
+			idleSpins := 0
+			victim := self
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				default:
+				}
+				worked := false
+				scratch = w.snapshot(scratch)
+				for _, t := range scratch {
+					if !t.claimed.CompareAndSwap(false, true) {
+						continue // another worker is running it right now
+					}
+					did := runLocked(t.te, t.te.eb)
+					t.claimed.Store(false)
+					if did {
+						worked = true
+					}
+				}
+				if worked {
+					idleSpins = 0
+					continue
+				}
+				// Idle: try to take over load from the other workers
+				// (deterministic round-robin victim selection), then back
+				// off like the other drivers.
+				for tries := 0; tries < nw-1; tries++ {
+					victim = (victim + 1) % nw
+					if victim == self {
+						victim = (victim + 1) % nw
+					}
+					if w.stealFrom(workers[victim]) {
+						break
+					}
+				}
+				idleSpins++
+				if idleSpins > 16 {
+					select {
+					case <-ctx.Done():
+						return
+					case <-time.After(200 * time.Microsecond):
+					}
+				}
+			}
+		}(i)
+	}
+	r.tickUntilDone(ctx)
+	wg.Wait()
 }
 
 // Ticker elements receive periodic time callbacks (rate estimators).
@@ -401,7 +560,10 @@ type Ticker interface {
 func (r *Router) tick(now time.Time) {
 	for _, n := range r.order {
 		if tk, ok := r.elems[n].(Ticker); ok {
+			b := r.elems[n].base()
+			b.mu.Lock()
 			tk.Tick(now)
+			b.mu.Unlock()
 		}
 	}
 }
@@ -493,8 +655,22 @@ func (r *Router) findHandler(spec string) (Handler, error) {
 	return Handler{}, fmt.Errorf("click: element %q has no handler %q", elemName, hName)
 }
 
+// lockFor returns the element lock covering a handler spec: the named
+// element's lock, or nil for router-global handlers (whose reads touch
+// only construction-time immutable state).
+func (r *Router) lockFor(spec string) *sync.Mutex {
+	dot := strings.LastIndex(spec, ".")
+	if dot < 0 {
+		return nil
+	}
+	if e, ok := r.elems[spec[:dot]]; ok {
+		return &e.base().mu
+	}
+	return nil
+}
+
 // ReadHandler invokes a read handler ("counter.count"). Safe to call
-// concurrently with a running driver.
+// concurrently with a running driver: it serializes on the element's lock.
 func (r *Router) ReadHandler(spec string) (string, error) {
 	h, err := r.findHandler(spec)
 	if err != nil {
@@ -503,8 +679,10 @@ func (r *Router) ReadHandler(spec string) (string, error) {
 	if h.Read == nil {
 		return "", fmt.Errorf("click: handler %q is not readable", spec)
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	if mu := r.lockFor(spec); mu != nil {
+		mu.Lock()
+		defer mu.Unlock()
+	}
 	return h.Read(), nil
 }
 
@@ -517,20 +695,24 @@ func (r *Router) WriteHandler(spec, value string) error {
 	if h.Write == nil {
 		return fmt.Errorf("click: handler %q is not writable", spec)
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	if mu := r.lockFor(spec); mu != nil {
+		mu.Lock()
+		defer mu.Unlock()
+	}
 	return h.Write(value)
 }
 
 // InjectPush pushes a packet into a named element's input port from outside
-// the driver (tests, traffic tools). It serializes with the driver.
+// the driver (tests, traffic tools). It serializes on the element's lock,
+// exactly like an upstream neighbour would.
 func (r *Router) InjectPush(elem string, port int, p *Packet) error {
 	e, ok := r.elems[elem]
 	if !ok {
 		return fmt.Errorf("click: no element %q", elem)
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	b := e.base()
+	b.mu.Lock()
 	e.Push(port, p)
+	b.mu.Unlock()
 	return nil
 }

@@ -157,10 +157,15 @@ func chainOfRouters(L int, driver click.DriverMode) (chan []byte, chan []byte, [
 	return chans[0], chans[L], routers, nil
 }
 
+// E6Drivers is the default scheduler ablation set: Click's single-threaded
+// userlevel driver, the goroutine-per-task ablation, and the work-stealing
+// multithreaded (SMP) driver.
+var E6Drivers = []click.DriverMode{click.SingleThreaded, click.GoroutinePerTask, click.MultiThreaded}
+
 // E6ClickDataPlane pushes frames through chains of Click VNFs and
-// reports throughput, including the scheduler ablation (single-threaded
-// vs goroutine-per-task driver).
-func E6ClickDataPlane(lengths []int, frameSizes []int, packets int) (*Table, error) {
+// reports throughput, including the scheduler ablation across all three
+// drivers (pass an explicit subset to narrow it).
+func E6ClickDataPlane(lengths []int, frameSizes []int, packets int, drivers ...click.DriverMode) (*Table, error) {
 	if len(lengths) == 0 {
 		lengths = []int{1, 2, 4, 8}
 	}
@@ -170,56 +175,78 @@ func E6ClickDataPlane(lengths []int, frameSizes []int, packets int) (*Table, err
 	if packets <= 0 {
 		packets = 2000
 	}
+	if len(drivers) == 0 {
+		drivers = E6Drivers
+	}
 	t := &Table{
 		ID:      "E6",
 		Title:   fmt.Sprintf("Click data plane: %d frames through VNF chains", packets),
 		Columns: []string{"chain_len", "frame_B", "driver", "kpps", "us_per_pkt"},
-		Notes:   []string{"shape check: throughput falls ~1/L in chain length"},
+		Notes: []string{
+			"shape check: throughput falls ~1/L in chain length",
+			"multi runs each VNF's RX and TX sides on separate workers (per-element locks)",
+		},
 	}
 	for _, L := range lengths {
 		for _, size := range frameSizes {
-			for _, driver := range []click.DriverMode{click.SingleThreaded, click.GoroutinePerTask} {
-				entry, exit, routers, err := chainOfRouters(L, driver)
-				if err != nil {
+			for _, driver := range drivers {
+				if err := e6Run(t, L, size, packets, driver); err != nil {
 					return nil, err
 				}
-				ctx, cancel := context.WithCancel(context.Background())
-				for _, r := range routers {
-					go r.Run(ctx)
-				}
-				frame := make([]byte, size)
-				start := time.Now()
-				go func() {
-					for i := 0; i < packets; i++ {
-						entry <- frame
-					}
-				}()
-				received := 0
-				timeout := time.After(30 * time.Second)
-				for received < packets {
-					select {
-					case <-exit:
-						received++
-					case <-timeout:
-						cancel()
-						return nil, fmt.Errorf("experiments: E6 stalled at %d/%d (L=%d)", received, packets, L)
-					}
-				}
-				elapsed := time.Since(start)
-				cancel()
-				for _, r := range routers {
-					r.Stop()
-				}
-				kpps := float64(packets) / elapsed.Seconds() / 1000
-				perPkt := elapsed / time.Duration(packets)
-				driverName := "single"
-				if driver == click.GoroutinePerTask {
-					driverName = "per-task"
-				}
-				t.AddRow(fmt.Sprint(L), fmt.Sprint(size), driverName,
-					fmt.Sprintf("%.1f", kpps), us(perPkt))
 			}
 		}
 	}
 	return t, nil
+}
+
+// e6Run measures one (chain length, frame size, driver) cell.
+func e6Run(t *Table, L, size, packets int, driver click.DriverMode) error {
+	entry, exit, routers, err := chainOfRouters(L, driver)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for _, r := range routers {
+		go r.Run(ctx)
+	}
+	// The producer sends a fresh copy per packet: Packet.Data allows
+	// in-place mutation by elements, and a device may retain a frame it
+	// accepted, so one shared slice queued N times would let a mutating
+	// element corrupt frames still waiting upstream. The done channel
+	// keeps the producer from blocking forever on a full entry queue
+	// after a stall made the harness stop draining exit.
+	done := make(chan struct{})
+	defer close(done)
+	start := time.Now()
+	go func() {
+		frame := make([]byte, size)
+		for i := 0; i < packets; i++ {
+			select {
+			case entry <- append([]byte(nil), frame...):
+			case <-done:
+				return
+			}
+		}
+	}()
+	received := 0
+	timeout := time.After(30 * time.Second)
+	for received < packets {
+		select {
+		case <-exit:
+			received++
+		case <-timeout:
+			return fmt.Errorf("experiments: E6 %s stalled at %d/%d (L=%d)", driver, received, packets, L)
+		}
+	}
+	elapsed := time.Since(start)
+	cancel()
+	for _, r := range routers {
+		r.Stop()
+	}
+	kpps := float64(packets) / elapsed.Seconds() / 1000
+	perPkt := elapsed / time.Duration(packets)
+	t.AddRow(fmt.Sprint(L), fmt.Sprint(size), driver.String(),
+		fmt.Sprintf("%.1f", kpps), us(perPkt))
+	return nil
 }

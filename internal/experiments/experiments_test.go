@@ -89,7 +89,16 @@ func TestE6ClickDataPlane(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	renderOK(t, tbl, 4)
+	renderOK(t, tbl, 6) // 2 lengths × 1 size × 3 drivers
+	seen := map[string]bool{}
+	for _, row := range tbl.Rows {
+		seen[row[2]] = true
+	}
+	for _, d := range []string{"single", "per-task", "multi"} {
+		if !seen[d] {
+			t.Errorf("driver %s missing from E6 ablation", d)
+		}
+	}
 }
 
 func TestE7NETCONF(t *testing.T) {

@@ -1,0 +1,30 @@
+package escape
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestModuleDefinition guards the go.mod fix: every package imports
+// escape/internal/..., so a missing or renamed module breaks `go build
+// ./...` from a fresh clone before any test runs.
+func TestModuleDefinition(t *testing.T) {
+	b, err := os.ReadFile("go.mod")
+	if err != nil {
+		t.Fatalf("go.mod missing at repo root: %v", err)
+	}
+	lines := strings.Split(string(b), "\n")
+	if len(lines) == 0 || strings.TrimSpace(lines[0]) != "module escape" {
+		t.Fatalf("go.mod must declare `module escape` (imports use the escape/ prefix); got %q", lines[0])
+	}
+	hasGo := false
+	for _, l := range lines {
+		if strings.HasPrefix(strings.TrimSpace(l), "go ") {
+			hasGo = true
+		}
+	}
+	if !hasGo {
+		t.Fatal("go.mod must pin a Go language version")
+	}
+}
