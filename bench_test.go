@@ -1,5 +1,5 @@
 // Package escape's root benchmarks regenerate every experiment of
-// EXPERIMENTS.md (one benchmark per table/figure, E1–E8). Run with:
+// EXPERIMENTS.md (one benchmark per table/figure, E1–E9). Run with:
 //
 //	go test -bench=. -benchmem
 //
@@ -136,5 +136,19 @@ func BenchmarkE8ServiceCreation(b *testing.B) {
 			b.Fatal(err)
 		}
 		tbl.Render(tableOut())
+	}
+}
+
+// BenchmarkE9DeployThroughput measures concurrent service deployment
+// across the realization/steering ablation (sequential vs parallel VNF
+// setup, per-path vs batched steering).
+func BenchmarkE9DeployThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.E9DeployThroughput([]int{1, 4, 8}, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tbl.Render(tableOut())
+		b.ReportMetric(lastFloat(tbl, 4), "svc/s@8conc-par-batch")
 	}
 }

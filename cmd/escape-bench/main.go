@@ -1,5 +1,5 @@
 // Command escape-bench regenerates the evaluation tables of
-// EXPERIMENTS.md (E1–E8): workload generation, parameter sweeps,
+// EXPERIMENTS.md (E1–E9): workload generation, parameter sweeps,
 // baselines and result tables in one binary.
 //
 // Usage:
@@ -8,6 +8,7 @@
 //	escape-bench -e e3,e4        # a subset
 //	escape-bench -e e3 -sizes 10,100,400
 //	escape-bench -e e6 -e6drivers single,multi
+//	escape-bench -e e9 -e9conc 4,8,16 -e9chain 3
 //	escape-bench -quick          # reduced parameters (CI-friendly)
 package main
 
@@ -45,9 +46,11 @@ func parseE6Drivers(s string) ([]click.DriverMode, error) {
 }
 
 func main() {
-	which := flag.String("e", "all", "comma-separated experiments (e1..e8) or 'all'")
+	which := flag.String("e", "all", "comma-separated experiments (e1..e9) or 'all'")
 	sizes := flag.String("sizes", "", "override E3 node counts, comma-separated")
 	e6drv := flag.String("e6drivers", "all", "E6 scheduler ablation subset: single,per-task,multi or 'all'")
+	e9conc := flag.String("e9conc", "", "override E9 concurrent-deploy counts, comma-separated")
+	e9chain := flag.Int("e9chain", 4, "E9 chain length (NFs per service)")
 	quick := flag.Bool("quick", false, "reduced parameter sets")
 	flag.Parse()
 
@@ -58,7 +61,7 @@ func main() {
 
 	selected := map[string]bool{}
 	if *which == "all" {
-		for i := 1; i <= 8; i++ {
+		for i := 1; i <= 9; i++ {
 			selected[fmt.Sprintf("e%d", i)] = true
 		}
 	} else {
@@ -73,6 +76,7 @@ func main() {
 	e6pkts := 2000
 	e7 := []int{1, 8, 32, 64}
 	e8 := []int{1, 2, 4, 8}
+	e9 := []int{1, 2, 4, 8, 16}
 	if *quick {
 		e3sizes = []int{10, 50}
 		e4 = [3]int{8, 2, 10}
@@ -80,16 +84,24 @@ func main() {
 		e6pkts = 500
 		e7 = []int{1, 8}
 		e8 = []int{1, 2}
+		e9 = []int{2, 4}
+	}
+	parseInts := func(flagName, s string) []int {
+		var out []int
+		for _, v := range strings.Split(s, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(v))
+			if err != nil {
+				fatal(fmt.Errorf("bad %s value %q", flagName, v))
+			}
+			out = append(out, n)
+		}
+		return out
 	}
 	if *sizes != "" {
-		e3sizes = nil
-		for _, s := range strings.Split(*sizes, ",") {
-			n, err := strconv.Atoi(strings.TrimSpace(s))
-			if err != nil {
-				fatal(fmt.Errorf("bad -sizes value %q", s))
-			}
-			e3sizes = append(e3sizes, n)
-		}
+		e3sizes = parseInts("-sizes", *sizes)
+	}
+	if *e9conc != "" {
+		e9 = parseInts("-e9conc", *e9conc)
 	}
 
 	type exp struct {
@@ -107,6 +119,7 @@ func main() {
 		}},
 		{"e7", func() (*experiments.Table, error) { return experiments.E7NETCONF(e7) }},
 		{"e8", func() (*experiments.Table, error) { return experiments.E8ServiceCreation(e8) }},
+		{"e9", func() (*experiments.Table, error) { return experiments.E9DeployThroughput(e9, *e9chain) }},
 	}
 	ran := 0
 	for _, e := range all {

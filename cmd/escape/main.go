@@ -175,8 +175,8 @@ func runService(args []string, mapOnly bool) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("service %q deployed: map=%v vnf-setup=%v steering=%v\n",
-		svc.Name, svc.PhaseDurations["map"], svc.PhaseDurations["vnf-setup"], svc.PhaseDurations["steering"])
+	fmt.Printf("service %q %s: map=%v vnf-setup=%v steering=%v\n",
+		svc.Name, svc.State(), svc.PhaseDurations["map"], svc.PhaseDurations["vnf-setup"], svc.PhaseDurations["steering"])
 
 	// Verify connectivity between the first pair of SAP hosts.
 	if len(graph.SAPs) >= 2 {

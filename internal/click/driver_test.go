@@ -10,16 +10,20 @@ import (
 	"time"
 )
 
-// readCount reads a numeric handler or fails the test.
+// readCount reads a numeric handler or fails the test. It uses Errorf,
+// not Fatalf, because callers invoke it from poller goroutines and
+// Fatalf must only run on the test goroutine.
 func readCount(t *testing.T, r *Router, spec string) uint64 {
 	t.Helper()
 	s, err := r.ReadHandler(spec)
 	if err != nil {
-		t.Fatalf("ReadHandler(%s): %v", spec, err)
+		t.Errorf("ReadHandler(%s): %v", spec, err)
+		return 0
 	}
 	n, err := strconv.ParseUint(s, 10, 64)
 	if err != nil {
-		t.Fatalf("ReadHandler(%s) = %q: %v", spec, s, err)
+		t.Errorf("ReadHandler(%s) = %q: %v", spec, s, err)
+		return 0
 	}
 	return n
 }

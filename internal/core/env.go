@@ -44,6 +44,14 @@ type TopoSpec struct {
 	// ControllerTCP switches the OpenFlow transport from in-process
 	// pipes to TCP (E5 ablation).
 	ControllerTCP bool
+	// RealizeWorkers bounds cross-EE realization parallelism
+	// (Config.RealizeWorkers; 1 = sequential baseline).
+	RealizeWorkers int
+	// SessionsPerEE sizes the per-EE NETCONF session pool.
+	SessionsPerEE int
+	// PerPathSteering installs paths one barrier round per SG link
+	// instead of batched per service (E9 ablation).
+	PerPathSteering bool
 }
 
 // Environment is a running ESCAPE instance: emulated network, controller
@@ -139,12 +147,15 @@ func StartEnvironment(spec TopoSpec) (*Environment, error) {
 	}
 
 	orch, err := New(Config{
-		Controller: ctrl,
-		Steering:   st,
-		Catalog:    cat,
-		View:       view,
-		Agents:     agentAddrs,
-		Mapper:     spec.Mapper,
+		Controller:      ctrl,
+		Steering:        st,
+		Catalog:         cat,
+		View:            view,
+		Agents:          agentAddrs,
+		Mapper:          spec.Mapper,
+		RealizeWorkers:  spec.RealizeWorkers,
+		SessionsPerEE:   spec.SessionsPerEE,
+		PerPathSteering: spec.PerPathSteering,
 	})
 	if err != nil {
 		cleanup()

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"sync"
+	"time"
+)
+
+// ServiceState is one stage of a service's lifecycle. A deploy walks
+// Pending → Mapped → Realizing → Steering → Running; any stage may drop
+// to Failed (resources released, name freed), and Undeploy moves a
+// running service to Removed. Failed and Removed are terminal.
+type ServiceState int
+
+// Lifecycle states.
+const (
+	// StatePending: the name is reserved, nothing committed yet.
+	StatePending ServiceState = iota
+	// StateMapped: mapping computed and resources committed atomically.
+	StateMapped
+	// StateRealizing: VNFs being initiated/connected/started over NETCONF.
+	StateRealizing
+	// StateSteering: chain flow rules being installed.
+	StateSteering
+	// StateRunning: deployed, steered, carrying traffic.
+	StateRunning
+	// StateFailed: a deploy stage failed; resources were rolled back.
+	StateFailed
+	// StateRemoved: torn down by Undeploy.
+	StateRemoved
+)
+
+var stateNames = [...]string{
+	StatePending:   "Pending",
+	StateMapped:    "Mapped",
+	StateRealizing: "Realizing",
+	StateSteering:  "Steering",
+	StateRunning:   "Running",
+	StateFailed:    "Failed",
+	StateRemoved:   "Removed",
+}
+
+// String implements fmt.Stringer.
+func (s ServiceState) String() string {
+	if int(s) < len(stateNames) {
+		return stateNames[s]
+	}
+	return "Unknown"
+}
+
+// Terminal reports whether no further transitions can occur.
+func (s ServiceState) Terminal() bool {
+	return s == StateFailed || s == StateRemoved
+}
+
+// validNext is the transition relation of the lifecycle state machine.
+var validNext = map[ServiceState][]ServiceState{
+	StatePending:   {StateMapped, StateFailed},
+	StateMapped:    {StateRealizing, StateFailed},
+	StateRealizing: {StateSteering, StateFailed},
+	StateSteering:  {StateRunning, StateFailed},
+	StateRunning:   {StateRemoved, StateFailed},
+}
+
+// canTransition reports whether from → to is a legal lifecycle step.
+func canTransition(from, to ServiceState) bool {
+	for _, n := range validNext[from] {
+		if n == to {
+			return true
+		}
+	}
+	return false
+}
+
+// Event is one lifecycle transition, delivered to watchers.
+type Event struct {
+	Service string
+	State   ServiceState
+	// Err carries the failure cause on StateFailed events.
+	Err  error
+	Time time.Time
+}
+
+// lifecycle holds a service's observable state and its watchers.
+type lifecycle struct {
+	mu       sync.Mutex
+	state    ServiceState
+	err      error
+	watchers []chan Event
+}
+
+// watchBuffer holds a full Pending→…→terminal walk, so a watcher that
+// drains at its leisure still sees every transition.
+const watchBuffer = 8
+
+// State returns the service's current lifecycle state.
+func (svc *Service) State() ServiceState {
+	svc.lc.mu.Lock()
+	defer svc.lc.mu.Unlock()
+	return svc.lc.state
+}
+
+// Err returns the failure cause once the service is Failed, else nil.
+func (svc *Service) Err() error {
+	svc.lc.mu.Lock()
+	defer svc.lc.mu.Unlock()
+	return svc.lc.err
+}
+
+// Watch subscribes to this service's subsequent lifecycle transitions.
+// The channel is buffered for a complete lifecycle and closed after a
+// terminal state is delivered; a watcher that never drains may miss
+// events beyond the buffer.
+func (svc *Service) Watch() <-chan Event {
+	ch := make(chan Event, watchBuffer)
+	svc.lc.mu.Lock()
+	defer svc.lc.mu.Unlock()
+	if svc.lc.state.Terminal() {
+		ch <- Event{Service: svc.Name, State: svc.lc.state, Err: svc.lc.err, Time: time.Now()}
+		close(ch)
+		return ch
+	}
+	svc.lc.watchers = append(svc.lc.watchers, ch)
+	return ch
+}
+
+// setState advances a service's state machine and notifies service
+// watchers plus orchestrator-level subscribers. Illegal transitions are
+// programming errors and ignored (the state machine never goes
+// backwards).
+func (o *Orchestrator) setState(svc *Service, to ServiceState, cause error) {
+	svc.lc.mu.Lock()
+	if !canTransition(svc.lc.state, to) {
+		svc.lc.mu.Unlock()
+		return
+	}
+	svc.lc.state = to
+	if to == StateFailed {
+		svc.lc.err = cause
+	}
+	ev := Event{Service: svc.Name, State: to, Err: svc.lc.err, Time: time.Now()}
+	watchers := svc.lc.watchers
+	if to.Terminal() {
+		svc.lc.watchers = nil
+	}
+	svc.lc.mu.Unlock()
+
+	for _, ch := range watchers {
+		select {
+		case ch <- ev:
+		default: // watcher stopped draining; drop rather than block deploys
+		}
+		if to.Terminal() {
+			close(ch)
+		}
+	}
+	o.subMu.Lock()
+	subs := make([]chan Event, 0, len(o.subs))
+	for _, ch := range o.subs {
+		subs = append(subs, ch)
+	}
+	o.subMu.Unlock()
+	for _, ch := range subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// Subscribe returns a channel receiving every lifecycle event of every
+// service (buffered with buf slots, minimum watchBuffer) and a cancel
+// function that unsubscribes and closes it. Events are dropped, never
+// blocked on, when the subscriber lags.
+func (o *Orchestrator) Subscribe(buf int) (<-chan Event, func()) {
+	if buf < watchBuffer {
+		buf = watchBuffer
+	}
+	ch := make(chan Event, buf)
+	o.subMu.Lock()
+	id := o.nextSub
+	o.nextSub++
+	o.subs[id] = ch
+	o.subMu.Unlock()
+	return ch, func() {
+		o.subMu.Lock()
+		if _, ok := o.subs[id]; ok {
+			delete(o.subs, id)
+			close(ch)
+		}
+		o.subMu.Unlock()
+	}
+}

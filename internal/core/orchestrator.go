@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"escape/internal/catalog"
@@ -30,16 +32,31 @@ type Config struct {
 	Agents map[string]string
 	// Mapper selects the mapping algorithm (default KSPMapper).
 	Mapper Mapper
+	// RealizeWorkers bounds cross-EE parallelism during VNF realization:
+	// each EE's NF sequence always runs in order, but up to this many
+	// EEs are driven at once. 0 = GOMAXPROCS; 1 = the sequential
+	// baseline (E9's ablation).
+	RealizeWorkers int
+	// SessionsPerEE sizes the NETCONF session pool per EE (default 1:
+	// strict per-EE serialization of management RPCs).
+	SessionsPerEE int
+	// PerPathSteering reverts to one install+barrier round per SG link
+	// (E9's ablation) instead of batching a service's paths per switch.
+	PerPathSteering bool
 }
 
 // Orchestrator is the orchestration layer: Deploy maps a service graph
-// and realizes it; Undeploy tears it down.
+// and realizes it through the lifecycle engine; Undeploy tears it down.
 type Orchestrator struct {
 	cfg Config
 
 	mu       sync.Mutex
-	agents   map[string]*vnfagent.Client
+	pools    map[string]*vnfagent.Pool
 	services map[string]*Service
+
+	subMu   sync.Mutex
+	subs    map[int]chan Event
+	nextSub int
 }
 
 // New creates an orchestrator.
@@ -53,15 +70,26 @@ func New(cfg Config) (*Orchestrator, error) {
 	if cfg.Mapper == nil {
 		cfg.Mapper = &KSPMapper{Catalog: cfg.Catalog}
 	}
+	if cfg.RealizeWorkers <= 0 {
+		cfg.RealizeWorkers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.SessionsPerEE <= 0 {
+		cfg.SessionsPerEE = 1
+	}
 	return &Orchestrator{
 		cfg:      cfg,
-		agents:   map[string]*vnfagent.Client{},
+		pools:    map[string]*vnfagent.Pool{},
 		services: map[string]*Service{},
+		subs:     map[int]chan Event{},
 	}, nil
 }
 
 // Mapper returns the active mapping algorithm.
-func (o *Orchestrator) Mapper() Mapper { return o.cfg.Mapper }
+func (o *Orchestrator) Mapper() Mapper {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.cfg.Mapper
+}
 
 // SetMapper swaps the mapping algorithm (the extensibility headline).
 func (o *Orchestrator) SetMapper(m Mapper) {
@@ -70,23 +98,22 @@ func (o *Orchestrator) SetMapper(m Mapper) {
 	o.cfg.Mapper = m
 }
 
-// agent returns a cached NETCONF client for an EE.
-func (o *Orchestrator) agent(ee string) (*vnfagent.Client, error) {
+// pool returns the NETCONF session pool for an EE, creating it lazily.
+// Sessions are dialed inside Pool.Do, never under o.mu, so a slow or
+// dead agent cannot stall deploys targeting other EEs.
+func (o *Orchestrator) pool(ee string) (*vnfagent.Pool, error) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	if c, ok := o.agents[ee]; ok {
-		return c, nil
+	if p, ok := o.pools[ee]; ok {
+		return p, nil
 	}
 	addr, ok := o.cfg.Agents[ee]
 	if !ok {
 		return nil, fmt.Errorf("core: no management address for EE %q", ee)
 	}
-	c, err := vnfagent.DialClient(addr)
-	if err != nil {
-		return nil, fmt.Errorf("core: connecting to agent of %q: %w", ee, err)
-	}
-	o.agents[ee] = c
-	return c, nil
+	p := vnfagent.NewPool(addr, o.cfg.SessionsPerEE)
+	o.pools[ee] = p
+	return p, nil
 }
 
 // DeployedNF records one realized NF.
@@ -98,126 +125,246 @@ type DeployedNF struct {
 	SwPorts map[string]uint16 // device name → switch port on the EE's switch
 }
 
-// Service is a running, steered service chain set.
+// Service is a service chain set moving through the lifecycle engine.
+// Mapping, NFs and PhaseDurations are safe to read once the service has
+// left the corresponding phase (Deploy returns a fully Running service).
 type Service struct {
 	Name    string
 	Graph   *sg.Graph
 	Mapping *Mapping
-	NFs     map[string]*DeployedNF
+	// nfMu guards NFs while realization workers fill it in parallel.
+	nfMu sync.Mutex
+	NFs  map[string]*DeployedNF
 	// PhaseDurations records per-phase deployment wall time (E8's
 	// breakdown): "map", "vnf-setup", "steering".
 	PhaseDurations map[string]time.Duration
 	paths          []string // installed steering path ids
+
+	lc lifecycle
 }
 
-// Deploy maps and realizes a service graph: the on-demand service
-// creation workflow of the demo (steps 3 of the paper's walkthrough).
-func (o *Orchestrator) Deploy(g *sg.Graph) (*Service, error) {
+// reserve claims a service name: the Pending lifecycle entry. Both the
+// duplicate check and the insertion happen under one lock, so of two
+// racing Deploys with the same graph name exactly one wins and the other
+// fails here instead of silently overwriting the winner later.
+func (o *Orchestrator) reserve(g *sg.Graph) (*Service, error) {
 	o.mu.Lock()
+	defer o.mu.Unlock()
 	if _, dup := o.services[g.Name]; dup {
-		o.mu.Unlock()
 		return nil, fmt.Errorf("core: service %q already deployed", g.Name)
 	}
-	o.mu.Unlock()
-
 	svc := &Service{
 		Name:           g.Name,
 		Graph:          g,
 		NFs:            map[string]*DeployedNF{},
 		PhaseDurations: map[string]time.Duration{},
 	}
+	o.services[g.Name] = svc
+	return svc, nil
+}
 
-	// Phase 1: mapping.
-	t0 := time.Now()
-	mapping, err := o.cfg.Mapper.Map(g, o.cfg.View)
-	if err != nil {
-		return nil, fmt.Errorf("core: mapping %q with %s: %w", g.Name, o.cfg.Mapper.MapperName(), err)
+// unregister frees a service name (failed deploy or undeploy).
+func (o *Orchestrator) unregister(svc *Service) {
+	o.mu.Lock()
+	if o.services[svc.Name] == svc {
+		delete(o.services, svc.Name)
 	}
-	svc.Mapping = mapping
-	o.cfg.View.Commit(mapping)
-	svc.PhaseDurations["map"] = time.Since(t0)
+	o.mu.Unlock()
+}
 
-	fail := func(err error) (*Service, error) {
-		o.teardown(svc)
+// Deploy maps and realizes a service graph: the on-demand service
+// creation workflow of the demo (step 3 of the paper's walkthrough),
+// driven through the lifecycle state machine. Deploys of different
+// services run concurrently: admission is atomic over the resource view,
+// realization fans out across EEs, and steering lands as one batch.
+func (o *Orchestrator) Deploy(g *sg.Graph) (*Service, error) {
+	svc, err := o.reserve(g)
+	if err != nil {
 		return nil, err
 	}
 
-	// Phase 2: VNF lifecycle over NETCONF (initiate → connect → start).
-	t1 := time.Now()
-	nfIDs := make([]string, 0, len(mapping.Placements))
-	for id := range mapping.Placements {
-		nfIDs = append(nfIDs, id)
+	fail := func(err error) (*Service, error) {
+		o.teardown(svc)
+		o.unregister(svc)
+		o.setState(svc, StateFailed, err)
+		return nil, err
 	}
-	sort.Strings(nfIDs)
-	for _, nfID := range nfIDs {
-		eeName := mapping.Placements[nfID]
-		nf := g.NF(nfID)
-		client, err := o.agent(eeName)
-		if err != nil {
-			return fail(err)
+
+	// Phase 1: atomic admission (map + commit in one critical section).
+	t0 := time.Now()
+	mapping, err := o.cfg.View.AdmitAndCommit(o.Mapper(), g)
+	if err != nil {
+		o.unregister(svc)
+		err = fmt.Errorf("core: mapping %q: %w", g.Name, err)
+		o.setState(svc, StateFailed, err)
+		return nil, err
+	}
+	svc.Mapping = mapping
+	svc.PhaseDurations["map"] = time.Since(t0)
+	o.setState(svc, StateMapped, nil)
+
+	// Phase 2: VNF lifecycle over NETCONF (initiate → connect → start),
+	// fanned out across EEs.
+	o.setState(svc, StateRealizing, nil)
+	t1 := time.Now()
+	if err := o.realize(svc, g, mapping); err != nil {
+		return fail(err)
+	}
+	svc.PhaseDurations["vnf-setup"] = time.Since(t1)
+
+	// Phase 3: steering, batched per switch.
+	o.setState(svc, StateSteering, nil)
+	t2 := time.Now()
+	if err := o.steer(svc, g, mapping); err != nil {
+		return fail(err)
+	}
+	svc.PhaseDurations["steering"] = time.Since(t2)
+
+	o.setState(svc, StateRunning, nil)
+	return svc, nil
+}
+
+// realize drives the per-NF initiate/connect/start sequence for every
+// placement: one worker per EE (so each EE sees its NFs strictly in
+// order on one management session) with cross-EE parallelism bounded by
+// RealizeWorkers. The first error stops remaining work; already-realized
+// NFs stay recorded in svc.NFs for the caller's rollback.
+func (o *Orchestrator) realize(svc *Service, g *sg.Graph, mapping *Mapping) error {
+	groups := map[string][]string{}
+	for nfID, ee := range mapping.Placements {
+		groups[ee] = append(groups[ee], nfID)
+	}
+	eeNames := make([]string, 0, len(groups))
+	for ee, nfIDs := range groups {
+		sort.Strings(nfIDs)
+		eeNames = append(eeNames, ee)
+	}
+	sort.Strings(eeNames)
+
+	sem := make(chan struct{}, o.cfg.RealizeWorkers)
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+		stop     atomic.Bool
+	)
+	record := func(err error) {
+		stop.Store(true)
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
 		}
-		typ, err := o.cfg.Catalog.Lookup(nf.Type)
-		if err != nil {
-			return fail(err)
-		}
-		options := map[string]string{}
-		for k, v := range nf.Params {
-			options[k] = v
-		}
-		cpu, mem := mapping.nfDemand(nf)
-		options["cpu"] = fmt.Sprintf("%g", cpu)
-		options["mem"] = fmt.Sprint(mem)
+		errMu.Unlock()
+	}
+	for _, ee := range eeNames {
+		wg.Add(1)
+		go func(ee string, nfIDs []string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			for _, nfID := range nfIDs {
+				if stop.Load() {
+					return
+				}
+				if err := o.realizeNF(svc, g, mapping, nfID, ee); err != nil {
+					record(err)
+					return
+				}
+			}
+		}(ee, groups[ee])
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// realizeNF runs one NF's full management sequence on a borrowed session.
+func (o *Orchestrator) realizeNF(svc *Service, g *sg.Graph, mapping *Mapping, nfID, eeName string) error {
+	pool, err := o.pool(eeName)
+	if err != nil {
+		return err
+	}
+	nf := g.NF(nfID)
+	typ, err := o.cfg.Catalog.Lookup(nf.Type)
+	if err != nil {
+		return err
+	}
+	options := map[string]string{}
+	for k, v := range nf.Params {
+		options[k] = v
+	}
+	cpu, mem := mapping.nfDemand(nf)
+	options["cpu"] = fmt.Sprintf("%g", cpu)
+	options["mem"] = fmt.Sprint(mem)
+	return pool.Do(func(client *vnfagent.Client) error {
 		vnfID, err := client.InitiateVNF(nf.Type, options)
 		if err != nil {
-			return fail(fmt.Errorf("core: initiateVNF %q on %q: %w", nfID, eeName, err))
+			return fmt.Errorf("core: initiateVNF %q on %q: %w", nfID, eeName, err)
 		}
 		dep := &DeployedNF{NF: nf, EE: eeName, VNFID: vnfID, SwPorts: map[string]uint16{}}
+		svc.nfMu.Lock()
 		svc.NFs[nfID] = dep
+		svc.nfMu.Unlock()
 		// Connect every device the SG references (plus the catalog's
 		// port list so unused directions still exist).
 		needed := map[string]bool{}
 		for _, p := range typ.Ports {
 			needed[p] = true
 		}
+		devs := make([]string, 0, len(needed))
 		for dev := range needed {
+			devs = append(devs, dev)
+		}
+		sort.Strings(devs)
+		for _, dev := range devs {
 			port, err := client.ConnectVNF(vnfID, dev, o.cfg.View.EEs[eeName].Switch)
 			if err != nil {
-				return fail(fmt.Errorf("core: connectVNF %s/%s: %w", nfID, dev, err))
+				return fmt.Errorf("core: connectVNF %s/%s: %w", nfID, dev, err)
 			}
 			dep.SwPorts[dev] = port
 		}
 		control, err := client.StartVNF(vnfID)
 		if err != nil {
-			return fail(fmt.Errorf("core: startVNF %q: %w", nfID, err))
+			return fmt.Errorf("core: startVNF %q: %w", nfID, err)
 		}
 		dep.Control = control
-	}
-	svc.PhaseDurations["vnf-setup"] = time.Since(t1)
+		return nil
+	})
+}
 
-	// Phase 3: steering.
-	t2 := time.Now()
+// steer expands every SG link into a concrete path and installs the
+// whole set in one batched push (or link by link in PerPathSteering
+// mode, the E9 ablation).
+func (o *Orchestrator) steer(svc *Service, g *sg.Graph, mapping *Mapping) error {
 	linkIDs := make([]string, 0, len(mapping.Routes))
 	for id := range mapping.Routes {
 		linkIDs = append(linkIDs, id)
 	}
 	sort.Strings(linkIDs)
+	paths := make([]steering.Path, 0, len(linkIDs))
 	for _, linkID := range linkIDs {
 		l := g.Link(linkID)
 		path, err := o.concretePath(svc, l, mapping.Routes[linkID])
 		if err != nil {
-			return fail(err)
+			return err
 		}
-		if _, err := o.cfg.Steering.InstallPath(*path); err != nil {
-			return fail(fmt.Errorf("core: steering link %q: %w", linkID, err))
-		}
-		svc.paths = append(svc.paths, path.ID)
+		paths = append(paths, *path)
 	}
-	svc.PhaseDurations["steering"] = time.Since(t2)
-
-	o.mu.Lock()
-	o.services[g.Name] = svc
-	o.mu.Unlock()
-	return svc, nil
+	if o.cfg.PerPathSteering {
+		for _, p := range paths {
+			if _, err := o.cfg.Steering.InstallPath(p); err != nil {
+				return fmt.Errorf("core: steering %q: %w", p.ID, err)
+			}
+			svc.paths = append(svc.paths, p.ID)
+		}
+		return nil
+	}
+	if _, err := o.cfg.Steering.InstallPaths(paths); err != nil {
+		return fmt.Errorf("core: steering %q: %w", svc.Name, err)
+	}
+	for _, p := range paths {
+		svc.paths = append(svc.paths, p.ID)
+	}
+	return nil
 }
 
 // concretePath expands a switch route into port-level hops.
@@ -274,7 +421,9 @@ func (o *Orchestrator) attachPort(svc *Service, ep sg.Endpoint, dst bool) (uint1
 	if sap := o.cfg.View.SAPs[ep.Node]; sap != nil {
 		return sap.Port, nil
 	}
+	svc.nfMu.Lock()
 	dep := svc.NFs[ep.Node]
+	svc.nfMu.Unlock()
 	if dep == nil {
 		return 0, fmt.Errorf("core: endpoint %q not deployed", ep.Node)
 	}
@@ -285,41 +434,106 @@ func (o *Orchestrator) attachPort(svc *Service, ep sg.Endpoint, dst bool) (uint1
 	return port, nil
 }
 
-// Undeploy tears a service down: steering rules out, VNFs stopped,
-// resources released.
+// Undeploy tears a service down: steering rules out, VNFs stopped and
+// disconnected, resources released, state Removed.
 func (o *Orchestrator) Undeploy(name string) error {
 	o.mu.Lock()
 	svc := o.services[name]
-	delete(o.services, name)
-	o.mu.Unlock()
 	if svc == nil {
+		o.mu.Unlock()
 		return fmt.Errorf("core: service %q not deployed", name)
 	}
-	return o.teardown(svc)
+	// A reserved name whose deploy is still in flight cannot be torn
+	// down: its realization workers still mutate it.
+	if st := svc.State(); st != StateRunning {
+		o.mu.Unlock()
+		return fmt.Errorf("core: service %q is %s, not Running", name, st)
+	}
+	delete(o.services, name)
+	o.mu.Unlock()
+	err := o.teardown(svc)
+	o.setState(svc, StateRemoved, nil)
+	return err
 }
 
+// teardown rolls a (possibly partially deployed) service out of the
+// infrastructure: paths removed in one batch, then per EE — in parallel
+// across EEs — every started VNF is stopped and every connected device
+// is disconnected, releasing the EE's switch ports. Finally the mapping's
+// resources return to the view. Errors are collected, the first one is
+// returned, and teardown always runs to completion.
 func (o *Orchestrator) teardown(svc *Service) error {
-	var firstErr error
-	for _, pathID := range svc.paths {
-		if err := o.cfg.Steering.RemovePath(pathID); err != nil && firstErr == nil {
+	var (
+		errMu    sync.Mutex
+		firstErr error
+	)
+	record := func(err error) {
+		if err == nil {
+			return
+		}
+		errMu.Lock()
+		if firstErr == nil {
 			firstErr = err
 		}
+		errMu.Unlock()
 	}
-	svc.paths = nil
+
+	if len(svc.paths) > 0 {
+		record(o.cfg.Steering.RemovePaths(svc.paths))
+		svc.paths = nil
+	}
+
+	svc.nfMu.Lock()
+	byEE := map[string][]*DeployedNF{}
 	for _, dep := range svc.NFs {
-		client, err := o.agent(dep.EE)
-		if err != nil {
-			if firstErr == nil {
-				firstErr = err
-			}
-			continue
-		}
-		if dep.Control != "" { // started
-			if err := client.StopVNF(dep.VNFID); err != nil && firstErr == nil {
-				firstErr = err
-			}
-		}
+		byEE[dep.EE] = append(byEE[dep.EE], dep)
 	}
+	svc.nfMu.Unlock()
+	for _, deps := range byEE {
+		sort.Slice(deps, func(i, j int) bool { return deps[i].VNFID < deps[j].VNFID })
+	}
+
+	var wg sync.WaitGroup
+	for ee, deps := range byEE {
+		wg.Add(1)
+		go func(ee string, deps []*DeployedNF) {
+			defer wg.Done()
+			pool, err := o.pool(ee)
+			if err != nil {
+				record(err)
+				return
+			}
+			// The closure returns its first error so Pool.Do can tell a
+			// broken transport (session discarded) from an rpc-error
+			// (session stays pooled); teardown itself still runs every
+			// remaining step.
+			record(pool.Do(func(client *vnfagent.Client) error {
+				var sessErr error
+				keep := func(err error) {
+					record(err)
+					if sessErr == nil {
+						sessErr = err
+					}
+				}
+				for _, dep := range deps {
+					if dep.Control != "" { // started
+						keep(client.StopVNF(dep.VNFID))
+					}
+					devs := make([]string, 0, len(dep.SwPorts))
+					for dev := range dep.SwPorts {
+						devs = append(devs, dev)
+					}
+					sort.Strings(devs)
+					for _, dev := range devs {
+						keep(client.DisconnectVNF(dep.VNFID, dev))
+					}
+				}
+				return sessErr
+			}))
+		}(ee, deps)
+	}
+	wg.Wait()
+
 	if svc.Mapping != nil {
 		o.cfg.View.Release(svc.Mapping)
 	}
@@ -349,10 +563,10 @@ func (o *Orchestrator) Services() []string {
 func (o *Orchestrator) Close() {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	for _, c := range o.agents {
-		c.Close()
+	for _, p := range o.pools {
+		p.Close()
 	}
-	o.agents = map[string]*vnfagent.Client{}
+	o.pools = map[string]*vnfagent.Pool{}
 }
 
 // ChainFlowStats sums steered-traffic counters across a service's path
@@ -361,6 +575,12 @@ func (o *Orchestrator) ChainFlowStats(name string) (packets, bytes uint64, err e
 	svc := o.Service(name)
 	if svc == nil {
 		return 0, 0, fmt.Errorf("core: service %q not deployed", name)
+	}
+	// A reserved name whose deploy is still in flight has no (stable)
+	// mapping to walk yet; the state read also orders this goroutine
+	// after the deploy goroutine's Mapping write.
+	if st := svc.State(); st != StateRunning {
+		return 0, 0, fmt.Errorf("core: service %q is %s, not Running", name, st)
 	}
 	for _, route := range svc.Mapping.Routes {
 		dpid := o.cfg.View.Switches[route[0]]
@@ -373,7 +593,7 @@ func (o *Orchestrator) ChainFlowStats(name string) (packets, bytes uint64, err e
 			return 0, 0, err
 		}
 		for _, f := range flows {
-			if f.Priority == 30000 { // steering band
+			if f.Priority == steering.PrioritySteering {
 				packets += f.PacketCount
 				bytes += f.ByteCount
 			}

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"escape/internal/netem"
+	"escape/internal/sg"
 )
 
 // EERes describes one VNF container in the resource view.
@@ -56,6 +57,12 @@ type ResourceView struct {
 	resCPU map[string]float64 // committed CPU per EE
 	resMem map[string]int
 	resBW  map[linkKey]float64
+
+	// admitMu serializes map+Commit pairs (AdmitAndCommit): a mapper
+	// works on a Snapshot, so without this critical section two
+	// concurrent deploys could both map against the same free capacity
+	// and oversubscribe the view when both commit.
+	admitMu sync.Mutex
 }
 
 type linkKey struct{ a, b string }
@@ -338,6 +345,30 @@ func (rv *ResourceView) Commit(m *Mapping) {
 			rv.resBW[mkLinkKey(route[i], route[i+1])] += bw
 		}
 	}
+}
+
+// AdmitAndCommit runs one admission cycle — map the graph, then commit
+// the mapping — as a single critical section over the view. Concurrent
+// callers serialize here, so a successful return means the committed
+// resources were actually free: parallel Deploys can never oversubscribe
+// the view. Mapping failures commit nothing.
+func (rv *ResourceView) AdmitAndCommit(m Mapper, g *sg.Graph) (*Mapping, error) {
+	rv.admitMu.Lock()
+	defer rv.admitMu.Unlock()
+	mapping, err := m.Map(g, rv)
+	if err != nil {
+		return nil, err
+	}
+	rv.Commit(mapping)
+	return mapping, nil
+}
+
+// Committed reports the currently committed compute on one EE (test and
+// invariant-checking hook: committed never exceeds EERes capacity).
+func (rv *ResourceView) Committed(ee string) (cpu float64, mem int) {
+	rv.mu.Lock()
+	defer rv.mu.Unlock()
+	return rv.resCPU[ee], rv.resMem[ee]
 }
 
 // Release returns a mapping's resources to the view (teardown).

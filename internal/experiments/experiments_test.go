@@ -116,3 +116,20 @@ func TestE8ServiceCreation(t *testing.T) {
 	}
 	renderOK(t, tbl, 2)
 }
+
+func TestE9DeployThroughput(t *testing.T) {
+	tbl, err := E9DeployThroughput([]int{2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderOK(t, tbl, 3) // 1 concurrency × 3 modes
+	modes := map[string]bool{}
+	for _, row := range tbl.Rows {
+		modes[row[1]+"+"+row[2]] = true
+	}
+	for _, m := range []string{"seq+path", "par+path", "par+batch"} {
+		if !modes[m] {
+			t.Errorf("mode %s missing from E9 ablation", m)
+		}
+	}
+}

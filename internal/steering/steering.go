@@ -8,8 +8,13 @@
 // forwarding or with other chains.
 //
 // A per-hop exact mode (match on in-port only, no VLAN) exists as the
-// ablation documented in DESIGN.md: cheaper rules, but correct only when
-// paths do not share ports.
+// ablation documented in the README ("Steering modes"): cheaper rules,
+// but correct only when paths do not share ports.
+//
+// Paths install one at a time (InstallPath) or batched (InstallPaths):
+// the batch groups every flow-mod per switch and ends with a single
+// barrier per touched switch, so a whole service chain lands in
+// O(switches) round-trips instead of O(hops).
 package steering
 
 import (
@@ -51,10 +56,11 @@ type Path struct {
 	Match openflow.Match
 }
 
-// Priority bands: steering rules sit above learning-switch entries.
-const (
-	prioSteering uint16 = 30000
-)
+// PrioritySteering is the flow-priority band of steering rules: above
+// learning-switch entries, so chained traffic never falls through to
+// ordinary forwarding. Exported so management layers (flow accounting in
+// internal/core) can recognize steering entries in dumped flow tables.
+const PrioritySteering uint16 = 30000
 
 // Installed is a handle to an installed path, used for teardown.
 type Installed struct {
@@ -107,69 +113,159 @@ func (s *Steering) allocVLAN() (uint16, error) {
 	return id, nil
 }
 
+// register validates a batch and claims ids and VLANs under one lock.
+// On error nothing is left registered.
+func (s *Steering) register(paths []Path) ([]*Installed, error) {
+	seen := map[string]bool{}
+	for _, p := range paths {
+		if len(p.Hops) == 0 {
+			return nil, fmt.Errorf("steering: path %q has no hops", p.ID)
+		}
+		if seen[p.ID] {
+			return nil, fmt.Errorf("steering: duplicate path %q in batch", p.ID)
+		}
+		seen[p.ID] = true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, p := range paths {
+		if _, dup := s.active[p.ID]; dup {
+			return nil, fmt.Errorf("steering: path %q already installed", p.ID)
+		}
+	}
+	insts := make([]*Installed, 0, len(paths))
+	undo := func() {
+		for _, inst := range insts {
+			delete(s.active, inst.Path.ID)
+			if inst.VLAN != 0 {
+				s.free = append(s.free, inst.VLAN)
+			}
+		}
+	}
+	for _, p := range paths {
+		var vlan uint16
+		if s.mode == ModeVLAN && len(p.Hops) > 1 {
+			var err error
+			if vlan, err = s.allocVLAN(); err != nil {
+				undo()
+				return nil, err
+			}
+		}
+		inst := &Installed{Path: p, VLAN: vlan}
+		s.active[p.ID] = inst
+		insts = append(insts, inst)
+	}
+	return insts, nil
+}
+
+// unregister releases ids and VLANs of a failed installation.
+func (s *Steering) unregister(insts []*Installed) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, inst := range insts {
+		delete(s.active, inst.Path.ID)
+		if inst.VLAN != 0 {
+			s.free = append(s.free, inst.VLAN)
+		}
+	}
+}
+
 // InstallPath installs the flow entries for one path and blocks until the
 // switches confirm (barrier). Paths are identified by Path.ID; installing
 // a duplicate id fails.
 func (s *Steering) InstallPath(p Path) (*Installed, error) {
-	if len(p.Hops) == 0 {
-		return nil, fmt.Errorf("steering: path %q has no hops", p.ID)
-	}
-	s.mu.Lock()
-	if _, dup := s.active[p.ID]; dup {
-		s.mu.Unlock()
-		return nil, fmt.Errorf("steering: path %q already installed", p.ID)
-	}
-	var vlan uint16
-	if s.mode == ModeVLAN && len(p.Hops) > 1 {
-		var err error
-		if vlan, err = s.allocVLAN(); err != nil {
-			s.mu.Unlock()
-			return nil, err
-		}
-	}
-	inst := &Installed{Path: p, VLAN: vlan}
-	s.active[p.ID] = inst
-	s.mu.Unlock()
-
-	if err := s.program(inst, openflow.FCAdd); err != nil {
-		s.mu.Lock()
-		delete(s.active, p.ID)
-		if vlan != 0 {
-			s.free = append(s.free, vlan)
-		}
-		s.mu.Unlock()
+	insts, err := s.InstallPaths([]Path{p})
+	if err != nil {
 		return nil, err
 	}
-	return inst, nil
+	return insts[0], nil
+}
+
+// InstallPaths installs a batch of paths (typically all SG links of one
+// service) in one push: every flow-mod is sent first, grouped per switch,
+// then a single barrier per touched switch confirms the whole batch. The
+// batch is atomic with respect to the path registry — on any error every
+// path of the batch is unregistered and already-sent rules are deleted
+// best-effort.
+func (s *Steering) InstallPaths(paths []Path) ([]*Installed, error) {
+	if len(paths) == 0 {
+		return nil, nil
+	}
+	insts, err := s.register(paths)
+	if err != nil {
+		return nil, err
+	}
+	var mods []switchMod
+	for _, inst := range insts {
+		pm := flowMods(inst, openflow.FCAdd)
+		inst.RuleCount = len(pm)
+		mods = append(mods, pm...)
+	}
+	if err := s.sendMods(mods); err != nil {
+		s.rollback(insts)
+		return nil, err
+	}
+	return insts, nil
+}
+
+// rollback deletes whatever rules of a failed batch may have reached
+// switches (best-effort) and unregisters the batch.
+func (s *Steering) rollback(insts []*Installed) {
+	var mods []switchMod
+	for _, inst := range insts {
+		mods = append(mods, flowMods(inst, openflow.FCDeleteStrict)...)
+	}
+	_ = s.sendMods(mods)
+	s.unregister(insts)
 }
 
 // RemovePath uninstalls a previously installed path.
 func (s *Steering) RemovePath(id string) error {
-	s.mu.Lock()
-	inst := s.active[id]
-	if inst == nil {
-		s.mu.Unlock()
-		return fmt.Errorf("steering: path %q not installed", id)
-	}
-	delete(s.active, id)
-	if inst.VLAN != 0 {
-		s.free = append(s.free, inst.VLAN)
-	}
-	s.mu.Unlock()
-	return s.program(inst, openflow.FCDeleteStrict)
+	return s.RemovePaths([]string{id})
 }
 
-// program installs or deletes the rules of one path.
-func (s *Steering) program(inst *Installed, command uint16) error {
-	p := inst.Path
-	touched := map[uint64]*pox.Connection{}
-	rules := 0
-	for i, hop := range p.Hops {
-		conn := s.ctrl.Connection(hop.DPID)
-		if conn == nil {
-			return fmt.Errorf("steering: switch %#x not connected", hop.DPID)
+// RemovePaths uninstalls a batch of paths in one per-switch push (the
+// teardown mirror of InstallPaths). Unknown ids fail the whole call
+// before any rule is touched.
+func (s *Steering) RemovePaths(ids []string) error {
+	if len(ids) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	insts := make([]*Installed, 0, len(ids))
+	for _, id := range ids {
+		inst := s.active[id]
+		if inst == nil {
+			s.mu.Unlock()
+			return fmt.Errorf("steering: path %q not installed", id)
 		}
-		touched[hop.DPID] = conn
+		insts = append(insts, inst)
+	}
+	for _, inst := range insts {
+		delete(s.active, inst.Path.ID)
+		if inst.VLAN != 0 {
+			s.free = append(s.free, inst.VLAN)
+		}
+	}
+	s.mu.Unlock()
+	var mods []switchMod
+	for _, inst := range insts {
+		mods = append(mods, flowMods(inst, openflow.FCDeleteStrict)...)
+	}
+	return s.sendMods(mods)
+}
+
+// switchMod pairs one flow-mod with its target datapath.
+type switchMod struct {
+	dpid uint64
+	fm   *openflow.FlowMod
+}
+
+// flowMods builds the per-hop rules realizing one path.
+func flowMods(inst *Installed, command uint16) []switchMod {
+	p := inst.Path
+	mods := make([]switchMod, 0, len(p.Hops))
+	for i, hop := range p.Hops {
 		match := p.Match
 		if match == (openflow.Match{}) {
 			match = openflow.MatchAll()
@@ -206,7 +302,7 @@ func (s *Steering) program(inst *Installed, command uint16) error {
 		fm := &openflow.FlowMod{
 			Match:    match,
 			Command:  command,
-			Priority: prioSteering,
+			Priority: PrioritySteering,
 			BufferID: openflow.NoBuffer,
 			Actions:  actions,
 		}
@@ -214,18 +310,43 @@ func (s *Steering) program(inst *Installed, command uint16) error {
 			fm.Actions = nil
 			fm.OutPort = openflow.PortNone
 		}
-		if err := conn.SendFlowMod(fm); err != nil {
-			return fmt.Errorf("steering: flow-mod on %#x: %w", hop.DPID, err)
-		}
-		rules++
+		mods = append(mods, switchMod{dpid: hop.DPID, fm: fm})
 	}
-	inst.RuleCount = rules
-	// One barrier per touched switch guarantees the path is live before
-	// traffic is admitted (demo step 4 depends on this).
+	return mods
+}
+
+// sendMods pushes flow-mods to their switches in order, then blocks on
+// one barrier per touched switch (run concurrently) so the rules are live
+// before traffic is admitted (demo step 4 depends on this).
+func (s *Steering) sendMods(mods []switchMod) error {
+	touched := map[uint64]*pox.Connection{}
+	for _, m := range mods {
+		conn := touched[m.dpid]
+		if conn == nil {
+			if conn = s.ctrl.Connection(m.dpid); conn == nil {
+				return fmt.Errorf("steering: switch %#x not connected", m.dpid)
+			}
+			touched[m.dpid] = conn
+		}
+		if err := conn.SendFlowMod(m.fm); err != nil {
+			return fmt.Errorf("steering: flow-mod on %#x: %w", m.dpid, err)
+		}
+	}
+	errs := make(chan error, len(touched))
 	for dpid, conn := range touched {
-		if err := conn.Barrier(5 * time.Second); err != nil {
-			return fmt.Errorf("steering: barrier on %#x: %w", dpid, err)
+		go func(dpid uint64, conn *pox.Connection) {
+			if err := conn.Barrier(5 * time.Second); err != nil {
+				errs <- fmt.Errorf("steering: barrier on %#x: %w", dpid, err)
+				return
+			}
+			errs <- nil
+		}(dpid, conn)
+	}
+	var firstErr error
+	for range touched {
+		if err := <-errs; err != nil && firstErr == nil {
+			firstErr = err
 		}
 	}
-	return nil
+	return firstErr
 }

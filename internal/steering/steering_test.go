@@ -205,6 +205,81 @@ func TestVLANReuseAfterRemove(t *testing.T) {
 	}
 }
 
+func TestInstallPathsBatch(t *testing.T) {
+	n, st := twoSwitchNet(t, ModeVLAN)
+	mk := func(id string, in uint16) Path {
+		return Path{ID: id, Hops: []Hop{
+			{DPID: dpid(n, "s1"), InPort: in, OutPort: 2},
+			{DPID: dpid(n, "s2"), InPort: 1, OutPort: 2},
+		}}
+	}
+	insts, err := st.InstallPaths([]Path{mk("a", 1), mk("b", 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(insts) != 2 {
+		t.Fatalf("installed = %d", len(insts))
+	}
+	if insts[0].VLAN == insts[1].VLAN {
+		t.Error("batch paths share a VLAN")
+	}
+	for _, inst := range insts {
+		if inst.RuleCount != 2 {
+			t.Errorf("path %s rules = %d", inst.Path.ID, inst.RuleCount)
+		}
+	}
+	if st.ActivePaths() != 2 {
+		t.Errorf("active = %d", st.ActivePaths())
+	}
+	// Batched rules forward traffic like individually installed ones.
+	h1 := n.Node("h1").(*netem.Host)
+	h2 := n.Node("h2").(*netem.Host)
+	h2.SetAutoRespond(false)
+	frame, _ := pkt.BuildUDP(h1.MAC(), h2.MAC(), h1.IP(), h2.IP(), 7, 8, []byte("batched"))
+	h1.Send(frame)
+	select {
+	case <-h2.Recv():
+	case <-time.After(2 * time.Second):
+		t.Fatal("batched path dropped the frame")
+	}
+	if err := st.RemovePaths([]string{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if st.ActivePaths() != 0 {
+		t.Errorf("active after batch remove = %d", st.ActivePaths())
+	}
+}
+
+func TestInstallPathsRollsBackOnError(t *testing.T) {
+	n, st := twoSwitchNet(t, ModeVLAN)
+	good := Path{ID: "good", Hops: []Hop{{DPID: dpid(n, "s1"), InPort: 1, OutPort: 2}}}
+	bad := Path{ID: "bad", Hops: []Hop{{DPID: 0xdead, InPort: 1, OutPort: 2}}}
+	if _, err := st.InstallPaths([]Path{good, bad}); err == nil {
+		t.Fatal("batch with unknown switch succeeded")
+	}
+	if st.ActivePaths() != 0 {
+		t.Errorf("failed batch left %d active paths", st.ActivePaths())
+	}
+	// Every id is free again after the rollback.
+	if _, err := st.InstallPath(good); err != nil {
+		t.Errorf("reinstall after failed batch: %v", err)
+	}
+}
+
+func TestInstallPathsRejectsBatchDuplicates(t *testing.T) {
+	n, st := twoSwitchNet(t, ModeVLAN)
+	p := Path{ID: "dup", Hops: []Hop{{DPID: dpid(n, "s1"), InPort: 1, OutPort: 2}}}
+	if _, err := st.InstallPaths([]Path{p, p}); err == nil {
+		t.Error("duplicate ids within a batch accepted")
+	}
+	if st.ActivePaths() != 0 {
+		t.Errorf("active = %d", st.ActivePaths())
+	}
+	if err := st.RemovePaths([]string{"nope"}); err == nil {
+		t.Error("batch remove of unknown id succeeded")
+	}
+}
+
 func TestTwoChainsIsolatedByVLAN(t *testing.T) {
 	// Both chains share the s1→s2 trunk but exit different ports on s2.
 	ctrl := pox.NewController()

@@ -114,6 +114,12 @@ type Agent struct {
 	mu      sync.Mutex
 	records map[string]*vnfRecord
 	nextID  int
+
+	// connectMu serializes connectVNF RPCs: EE.ConnectVNF binds the
+	// switch-side port to the oldest pending device, so two interleaved
+	// connects (possible with multiple client sessions) could cross-wire
+	// their links without this.
+	connectMu sync.Mutex
 }
 
 // New builds an agent for an EE. Call ListenAndServe to expose it.
@@ -231,7 +237,9 @@ func (a *Agent) rpcConnect(_ *netconf.Session, in *yang.Data) (*yang.Data, error
 	id := in.ChildText("vnf_id")
 	dev := in.ChildText("vnf_port")
 	sw := in.ChildText("switch_id")
+	a.connectMu.Lock()
 	port, err := a.ee.ConnectVNF(a.net, id, dev, sw, netem.LinkConfig{})
+	a.connectMu.Unlock()
 	if err != nil {
 		return nil, err
 	}

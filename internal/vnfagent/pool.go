@@ -1,0 +1,97 @@
+package vnfagent
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"escape/internal/netconf"
+)
+
+// Pool maintains up to Size concurrent NETCONF sessions to one agent.
+// The orchestrator keeps one pool per EE: with the default size of 1
+// every management RPC against that EE serializes (the strict per-EE
+// ordering the realization fan-out relies on), while deploys touching
+// different EEs proceed in parallel on their own sessions. Sessions are
+// dialed lazily on first use and reused across borrows; a session whose
+// call fails at the transport layer is discarded instead of being
+// returned to the pool.
+type Pool struct {
+	addr   string
+	tokens chan struct{}
+
+	mu     sync.Mutex
+	idle   []*Client
+	closed bool
+}
+
+// NewPool creates a pool of at most size sessions (size < 1 means 1).
+func NewPool(addr string, size int) *Pool {
+	if size < 1 {
+		size = 1
+	}
+	return &Pool{addr: addr, tokens: make(chan struct{}, size)}
+}
+
+// Do borrows a session (dialing one when none is idle), runs f with it
+// and returns the session to the pool. At most Size invocations run
+// concurrently; excess callers block. f's error is passed through: an
+// application-level rpc-error keeps the session pooled, any other error
+// is treated as a broken transport and closes the session.
+func (p *Pool) Do(f func(*Client) error) error {
+	p.tokens <- struct{}{}
+	defer func() { <-p.tokens }()
+
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return fmt.Errorf("vnfagent: pool for %s is closed", p.addr)
+	}
+	var c *Client
+	if n := len(p.idle); n > 0 {
+		c = p.idle[n-1]
+		p.idle = p.idle[:n-1]
+	}
+	p.mu.Unlock()
+
+	if c == nil {
+		var err error
+		if c, err = DialClient(p.addr); err != nil {
+			return err
+		}
+	}
+	err := f(c)
+	if err != nil && !isRPCError(err) {
+		c.Close()
+		return err
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		c.Close()
+		return err
+	}
+	p.idle = append(p.idle, c)
+	p.mu.Unlock()
+	return err
+}
+
+// isRPCError reports whether err is (or wraps) a NETCONF <rpc-error>:
+// the session survived and carried a well-formed reply.
+func isRPCError(err error) bool {
+	var re *netconf.RPCError
+	return errors.As(err, &re)
+}
+
+// Close closes every idle session and marks the pool closed; borrowed
+// sessions are closed as they are returned.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	idle := p.idle
+	p.idle = nil
+	p.closed = true
+	p.mu.Unlock()
+	for _, c := range idle {
+		c.Close()
+	}
+}
