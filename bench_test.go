@@ -1,5 +1,5 @@
 // Package escape's root benchmarks regenerate every experiment of
-// EXPERIMENTS.md (one benchmark per table/figure, E1–E9). Run with:
+// EXPERIMENTS.md (one benchmark per table/figure, E1–E10). Run with:
 //
 //	go test -bench=. -benchmem
 //
@@ -150,5 +150,19 @@ func BenchmarkE9DeployThroughput(b *testing.B) {
 		}
 		tbl.Render(tableOut())
 		b.ReportMetric(lastFloat(tbl, 4), "svc/s@8conc-par-batch")
+	}
+}
+
+// BenchmarkE10MultiDomain measures hierarchical vs flat orchestration
+// across 3 domains: concurrent multi-tenant deploys, gateway-stitched
+// steering verified by live traffic and flow counters per cell.
+func BenchmarkE10MultiDomain(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.E10MultiDomain(3, 3, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tbl.Render(tableOut())
+		b.ReportMetric(lastFloat(tbl, 3), "svc/s@3span-flat")
 	}
 }

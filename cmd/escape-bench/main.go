@@ -1,5 +1,5 @@
 // Command escape-bench regenerates the evaluation tables of
-// EXPERIMENTS.md (E1–E9): workload generation, parameter sweeps,
+// EXPERIMENTS.md (E1–E10): workload generation, parameter sweeps,
 // baselines and result tables in one binary.
 //
 // Usage:
@@ -9,6 +9,7 @@
 //	escape-bench -e e3 -sizes 10,100,400
 //	escape-bench -e e6 -e6drivers single,multi
 //	escape-bench -e e9 -e9conc 4,8,16 -e9chain 3
+//	escape-bench -e e10 -e10domains 4 -e10chain 3
 //	escape-bench -quick          # reduced parameters (CI-friendly)
 package main
 
@@ -46,11 +47,13 @@ func parseE6Drivers(s string) ([]click.DriverMode, error) {
 }
 
 func main() {
-	which := flag.String("e", "all", "comma-separated experiments (e1..e9) or 'all'")
+	which := flag.String("e", "all", "comma-separated experiments (e1..e10) or 'all'")
 	sizes := flag.String("sizes", "", "override E3 node counts, comma-separated")
 	e6drv := flag.String("e6drivers", "all", "E6 scheduler ablation subset: single,per-task,multi or 'all'")
 	e9conc := flag.String("e9conc", "", "override E9 concurrent-deploy counts, comma-separated")
 	e9chain := flag.Int("e9chain", 4, "E9 chain length (NFs per service)")
+	e10domains := flag.Int("e10domains", 3, "E10 number of orchestration domains")
+	e10chain := flag.Int("e10chain", 3, "E10 chain length (NFs per service)")
 	quick := flag.Bool("quick", false, "reduced parameter sets")
 	flag.Parse()
 
@@ -61,7 +64,7 @@ func main() {
 
 	selected := map[string]bool{}
 	if *which == "all" {
-		for i := 1; i <= 9; i++ {
+		for i := 1; i <= 10; i++ {
 			selected[fmt.Sprintf("e%d", i)] = true
 		}
 	} else {
@@ -77,6 +80,7 @@ func main() {
 	e7 := []int{1, 8, 32, 64}
 	e8 := []int{1, 2, 4, 8}
 	e9 := []int{1, 2, 4, 8, 16}
+	e10conc := 4
 	if *quick {
 		e3sizes = []int{10, 50}
 		e4 = [3]int{8, 2, 10}
@@ -85,6 +89,7 @@ func main() {
 		e7 = []int{1, 8}
 		e8 = []int{1, 2}
 		e9 = []int{2, 4}
+		e10conc = 2
 	}
 	parseInts := func(flagName, s string) []int {
 		var out []int
@@ -120,6 +125,9 @@ func main() {
 		{"e7", func() (*experiments.Table, error) { return experiments.E7NETCONF(e7) }},
 		{"e8", func() (*experiments.Table, error) { return experiments.E8ServiceCreation(e8) }},
 		{"e9", func() (*experiments.Table, error) { return experiments.E9DeployThroughput(e9, *e9chain) }},
+		{"e10", func() (*experiments.Table, error) {
+			return experiments.E10MultiDomain(*e10domains, *e10chain, e10conc)
+		}},
 	}
 	ran := 0
 	for _, e := range all {

@@ -8,6 +8,19 @@ import (
 	"escape/internal/sg"
 )
 
+// RegisteredMappers returns one instance of every mapping algorithm the
+// package ships (the registry behind experiment E4 and the cross-mapper
+// conformance suite). RandomMapper gets a fixed seed so the whole set is
+// deterministic for a fixed input.
+func RegisteredMappers(cat *catalog.Catalog) []Mapper {
+	return []Mapper{
+		&GreedyMapper{Catalog: cat},
+		&KSPMapper{Catalog: cat},
+		&BacktrackMapper{Catalog: cat},
+		&RandomMapper{Catalog: cat, Seed: 7},
+	}
+}
+
 // GreedyMapper places each NF on the first EE (by name) with enough free
 // compute, then routes links on shortest feasible paths. Fast, no
 // backtracking: a placement that strands a later link fails the request.

@@ -404,7 +404,12 @@ func (o *Orchestrator) concretePath(svc *Service, l *sg.Link, route []string) (*
 		}
 		hops[i] = hop
 	}
-	return &steering.Path{ID: svc.Name + "/" + l.ID, Hops: hops}, nil
+	return &steering.Path{
+		ID:          svc.Name + "/" + l.ID,
+		Hops:        hops,
+		IngressVLAN: l.IngressTag,
+		EgressVLAN:  l.EgressTag,
+	}, nil
 }
 
 // portFacing returns lr's port number on switch sw.

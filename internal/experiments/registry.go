@@ -1,0 +1,27 @@
+package experiments
+
+// Registered is one entry of the experiment registry: the experiment id
+// and a quick-mode runner with fixed, CI-sized parameters (and fixed
+// seeds where an experiment randomizes). The registry is what the
+// determinism suite and any "run everything" front end iterate; adding an
+// experiment here enrolls it in both.
+type Registered struct {
+	ID    string
+	Quick func() (*Table, error)
+}
+
+// Registry lists every experiment (E1–E10) with quick parameters.
+func Registry() []Registered {
+	return []Registered{
+		{"e1", E1Architecture},
+		{"e2", E2Demo},
+		{"e3", func() (*Table, error) { return E3Scale([]int{3, 6}) }},
+		{"e4", func() (*Table, error) { return E4Mapping(8, 2, 10) }},
+		{"e5", func() (*Table, error) { return E5Steering([]int{1, 2}) }},
+		{"e6", func() (*Table, error) { return E6ClickDataPlane([]int{1, 2}, []int{64}, 200) }},
+		{"e7", func() (*Table, error) { return E7NETCONF([]int{1, 4}) }},
+		{"e8", func() (*Table, error) { return E8ServiceCreation([]int{1, 2}) }},
+		{"e9", func() (*Table, error) { return E9DeployThroughput([]int{2}, 2) }},
+		{"e10", func() (*Table, error) { return E10MultiDomain(3, 2, 2) }},
+	}
+}

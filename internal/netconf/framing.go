@@ -48,12 +48,15 @@ func (f *framer) upgrade() { f.chunked = true }
 // WriteMessage frames and flushes one message.
 func (f *framer) WriteMessage(msg []byte) error {
 	if f.chunked {
-		// ␊#<len>␊<data> … ␊##␊
-		if _, err := fmt.Fprintf(f.w, "\n#%d\n", len(msg)); err != nil {
-			return err
-		}
-		if _, err := f.w.Write(msg); err != nil {
-			return err
+		// ␊#<len>␊<data> … ␊##␊ — chunk-size must be ≥1 (RFC 6242 §4.2),
+		// so an empty message is just the end-of-chunks marker.
+		if len(msg) > 0 {
+			if _, err := fmt.Fprintf(f.w, "\n#%d\n", len(msg)); err != nil {
+				return err
+			}
+			if _, err := f.w.Write(msg); err != nil {
+				return err
+			}
 		}
 		if _, err := f.w.WriteString("\n##\n"); err != nil {
 			return err

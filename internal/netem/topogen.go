@@ -55,6 +55,108 @@ func BuildLinear(net_ *Network, n int) error {
 	return nil
 }
 
+// BuildFatTree creates a k-ary fat-tree (Al-Fares et al.): (k/2)² core
+// switches c1…, k pods of k/2 aggregation (p<i>a<j>) and k/2 edge
+// (p<i>e<j>) switches, and k/2 hosts per edge switch (p<i>e<j>h<m>).
+// k must be even and ≥ 2. The classic data-center substrate for the
+// scale scenarios: k=4 yields 20 switches and 16 hosts.
+func BuildFatTree(net_ *Network, k int) error {
+	if k < 2 || k%2 != 0 {
+		return fmt.Errorf("netem: fat-tree needs even k ≥ 2, got %d", k)
+	}
+	half := k / 2
+	cores := make([]string, half*half)
+	for i := range cores {
+		cores[i] = fmt.Sprintf("c%d", i+1)
+		if _, err := net_.AddSwitch(cores[i]); err != nil {
+			return err
+		}
+	}
+	for p := 0; p < k; p++ {
+		aggs := make([]string, half)
+		for j := 0; j < half; j++ {
+			aggs[j] = fmt.Sprintf("p%da%d", p, j+1)
+			if _, err := net_.AddSwitch(aggs[j]); err != nil {
+				return err
+			}
+			// Aggregation switch j uplinks to core group j.
+			for m := 0; m < half; m++ {
+				if _, err := net_.AddLink(aggs[j], cores[j*half+m], LinkConfig{}); err != nil {
+					return err
+				}
+			}
+		}
+		for j := 0; j < half; j++ {
+			edge := fmt.Sprintf("p%de%d", p, j+1)
+			if _, err := net_.AddSwitch(edge); err != nil {
+				return err
+			}
+			for _, agg := range aggs {
+				if _, err := net_.AddLink(edge, agg, LinkConfig{}); err != nil {
+					return err
+				}
+			}
+			for m := 0; m < half; m++ {
+				h := fmt.Sprintf("%sh%d", edge, m+1)
+				if _, err := net_.AddHost(h); err != nil {
+					return err
+				}
+				if _, err := net_.AddLink(h, edge, LinkConfig{}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// BuildMultiDomain creates d domains of swPer switches each (a linear
+// chain d<i>s1—…—d<i>s<swPer> with hostsPer hosts per switch, named
+// d<i>s<j>h<m>), joined into a ring of gateway trunks: each domain's last
+// switch connects to the next domain's first (for d == 2, one trunk).
+// It returns the gateway trunk endpoint pairs so a caller building a
+// domain.Spec-style hierarchy knows where the boundaries are.
+func BuildMultiDomain(net_ *Network, d, swPer, hostsPer int) ([][2]string, error) {
+	if d < 1 || swPer < 1 || hostsPer < 0 {
+		return nil, fmt.Errorf("netem: multi-domain needs ≥1 domain, ≥1 switch, ≥0 hosts")
+	}
+	sw := func(i, j int) string { return fmt.Sprintf("d%ds%d", i, j) }
+	for i := 0; i < d; i++ {
+		for j := 1; j <= swPer; j++ {
+			if _, err := net_.AddSwitch(sw(i, j)); err != nil {
+				return nil, err
+			}
+			if j > 1 {
+				if _, err := net_.AddLink(sw(i, j-1), sw(i, j), LinkConfig{}); err != nil {
+					return nil, err
+				}
+			}
+			for m := 1; m <= hostsPer; m++ {
+				h := fmt.Sprintf("%sh%d", sw(i, j), m)
+				if _, err := net_.AddHost(h); err != nil {
+					return nil, err
+				}
+				if _, err := net_.AddLink(h, sw(i, j), LinkConfig{}); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	var gws [][2]string
+	for i := 0; i < d; i++ {
+		next := (i + 1) % d
+		if next == i || (d == 2 && i == 1) {
+			break // no self-trunk; for two domains one trunk suffices
+		}
+		a, b := sw(i, swPer), sw(next, 1)
+		if _, err := net_.AddLink(a, b, LinkConfig{}); err != nil {
+			return nil, err
+		}
+		gws = append(gws, [2]string{a, b})
+	}
+	return gws, nil
+}
+
 // BuildTree creates a full fanout-ary switch tree of the given depth with
 // hosts at the leaves (Mininet's --topo tree,depth,fanout).
 func BuildTree(net_ *Network, depth, fanout int) error {

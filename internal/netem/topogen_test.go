@@ -1,0 +1,107 @@
+package netem
+
+import (
+	"fmt"
+	"testing"
+
+	"escape/internal/pox"
+)
+
+// buildAndStart runs a generator against a fresh network with an
+// l2_learning controller and verifies it starts and stops cleanly.
+func buildAndStart(t *testing.T, build func(*Network) error) *Network {
+	t.Helper()
+	ctrl := pox.NewController()
+	ctrl.Register(pox.NewL2Learning())
+	n := New("topogen", Options{Controller: ctrl})
+	if err := build(n); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { n.Stop(); ctrl.Close() })
+	return n
+}
+
+func countKind(n *Network, k NodeKind) int {
+	c := 0
+	for _, node := range n.Nodes() {
+		if node.Kind() == k {
+			c++
+		}
+	}
+	return c
+}
+
+func TestBuildFatTree(t *testing.T) {
+	const k = 4
+	n := buildAndStart(t, func(n *Network) error { return BuildFatTree(n, k) })
+	// k=4: 4 core + 8 agg + 8 edge = 20 switches, 16 hosts.
+	if sw := countKind(n, KindSwitch); sw != 20 {
+		t.Errorf("switches = %d, want 20", sw)
+	}
+	if h := countKind(n, KindHost); h != 16 {
+		t.Errorf("hosts = %d, want 16", h)
+	}
+	// links: core-agg 16 + agg-edge 16 + host-edge 16 = 48.
+	if l := len(n.Links()); l != 48 {
+		t.Errorf("links = %d, want 48", l)
+	}
+}
+
+func TestBuildFatTreeRejectsOddK(t *testing.T) {
+	n := New("bad", Options{})
+	for _, k := range []int{0, 1, 3} {
+		if err := BuildFatTree(n, k); err == nil {
+			t.Errorf("k=%d accepted", k)
+		}
+	}
+}
+
+func TestBuildMultiDomain(t *testing.T) {
+	const d, swPer, hostsPer = 3, 2, 1
+	var gws [][2]string
+	n := buildAndStart(t, func(n *Network) error {
+		var err error
+		gws, err = BuildMultiDomain(n, d, swPer, hostsPer)
+		return err
+	})
+	if sw := countKind(n, KindSwitch); sw != d*swPer {
+		t.Errorf("switches = %d, want %d", sw, d*swPer)
+	}
+	if h := countKind(n, KindHost); h != d*swPer*hostsPer {
+		t.Errorf("hosts = %d, want %d", h, d*swPer*hostsPer)
+	}
+	// 3 domains form a full ring of gateway trunks.
+	if len(gws) != 3 {
+		t.Fatalf("gateways = %v, want 3 trunks", gws)
+	}
+	for _, gw := range gws {
+		found := false
+		for _, l := range n.Links() {
+			a, b := l.A.Node.NodeName(), l.B.Node.NodeName()
+			if (a == gw[0] && b == gw[1]) || (a == gw[1] && b == gw[0]) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("gateway trunk %v missing from topology", gw)
+		}
+	}
+}
+
+func TestBuildMultiDomainTrunkCounts(t *testing.T) {
+	for _, tc := range []struct{ d, trunks int }{{1, 0}, {2, 1}, {4, 4}} {
+		ctrl := pox.NewController()
+		n := New(fmt.Sprintf("md%d", tc.d), Options{Controller: ctrl})
+		gws, err := BuildMultiDomain(n, tc.d, 1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(gws) != tc.trunks {
+			t.Errorf("d=%d: %d gateway trunks, want %d", tc.d, len(gws), tc.trunks)
+		}
+		ctrl.Close()
+	}
+}

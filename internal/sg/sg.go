@@ -54,7 +54,24 @@ type Link struct {
 	Bandwidth float64 `json:"bandwidth,omitempty"`
 	// MaxDelay bounds the one-way latency of the mapped path (0 = none).
 	MaxDelay time.Duration `json:"max_delay,omitempty"`
+	// IngressTag/EgressTag stitch this link to an adjacent orchestration
+	// domain (internal/domain): a non-zero IngressTag means the link's
+	// traffic arrives carrying that VLAN id (matched and consumed at the
+	// first hop), a non-zero EgressTag means the traffic must leave tagged
+	// with that id (pushed at the last hop). Zero on ordinary links.
+	IngressTag uint16 `json:"ingress_tag,omitempty"`
+	EgressTag  uint16 `json:"egress_tag,omitempty"`
 }
+
+// Stitch tags live in [MinStitchTag, MaxStitchTag]: the 802.1Q range
+// reserved for inter-domain handoffs. Ids below MinStitchTag belong to
+// the steering layer's segment-VLAN allocator (steering.MaxSegmentVLAN =
+// MinStitchTag-1), so a user-supplied tag can never collide with an
+// allocator-assigned one.
+const (
+	MinStitchTag = 3000
+	MaxStitchTag = 4094
+)
 
 // Requirement is an end-to-end constraint on a sub-graph: it applies to
 // every chain running from SAP From to SAP To (the paper's "delay or
@@ -170,6 +187,12 @@ func (g *Graph) Validate() error {
 		}
 		if l.Bandwidth < 0 || l.MaxDelay < 0 {
 			return fmt.Errorf("sg: link %q has negative requirements", l.ID)
+		}
+		for _, tag := range []uint16{l.IngressTag, l.EgressTag} {
+			if tag != 0 && (tag < MinStitchTag || tag > MaxStitchTag) {
+				return fmt.Errorf("sg: link %q stitch tag %d outside [%d, %d]",
+					l.ID, tag, MinStitchTag, MaxStitchTag)
+			}
 		}
 	}
 	for _, s := range g.SAPs {

@@ -23,8 +23,8 @@ import (
 	"time"
 
 	"escape/internal/openflow"
-	"escape/internal/pkt"
 	"escape/internal/pox"
+	"escape/internal/sg"
 )
 
 // Mode selects the steering rule style.
@@ -54,6 +54,14 @@ type Path struct {
 	// means "everything arriving on the ingress port" (ESCAPE's
 	// port-based classification). InPort is always overridden.
 	Match openflow.Match
+	// IngressVLAN, when non-zero, stitches this path to an upstream
+	// orchestration domain: the first hop additionally matches that VLAN
+	// id and consumes the tag (multi-domain chains share gateway trunks,
+	// so in-port alone cannot tell services apart there).
+	IngressVLAN uint16
+	// EgressVLAN, when non-zero, tags traffic leaving the last hop with
+	// that VLAN id, handing the service off to a downstream domain.
+	EgressVLAN uint16
 }
 
 // PrioritySteering is the flow-priority band of steering rules: above
@@ -61,6 +69,14 @@ type Path struct {
 // ordinary forwarding. Exported so management layers (flow accounting in
 // internal/core) can recognize steering entries in dumped flow tables.
 const PrioritySteering uint16 = 30000
+
+// MaxSegmentVLAN caps the segment-VLAN allocator: ids above it are
+// reserved for multi-domain stitch tags (sg.Link.IngressTag/EgressTag,
+// validated into [sg.MinStitchTag, sg.MaxStitchTag]; internal/domain
+// allocates downward from the top), so segment VLANs and stitch tags can
+// never collide and cross-tenant mis-steering by id reuse is
+// structurally impossible.
+const MaxSegmentVLAN uint16 = sg.MinStitchTag - 1
 
 // Installed is a handle to an installed path, used for teardown.
 type Installed struct {
@@ -105,8 +121,8 @@ func (s *Steering) allocVLAN() (uint16, error) {
 		s.free = s.free[:n-1]
 		return id, nil
 	}
-	if s.nextVLAN > pkt.MaxVLANID {
-		return 0, fmt.Errorf("steering: out of VLAN ids")
+	if s.nextVLAN > MaxSegmentVLAN {
+		return 0, fmt.Errorf("steering: out of segment VLAN ids")
 	}
 	id := s.nextVLAN
 	s.nextVLAN++
@@ -243,16 +259,27 @@ func (s *Steering) RemovePaths(ids []string) error {
 	}
 	for _, inst := range insts {
 		delete(s.active, inst.Path.ID)
-		if inst.VLAN != 0 {
-			s.free = append(s.free, inst.VLAN)
-		}
 	}
 	s.mu.Unlock()
 	var mods []switchMod
 	for _, inst := range insts {
 		mods = append(mods, flowMods(inst, openflow.FCDeleteStrict)...)
 	}
-	return s.sendMods(mods)
+	err := s.sendMods(mods)
+	if err != nil {
+		// A VLAN whose delete was not confirmed may still be matched by
+		// stale rules on some switch: leak it rather than let a later
+		// path reuse it and capture another chain's traffic.
+		return err
+	}
+	s.mu.Lock()
+	for _, inst := range insts {
+		if inst.VLAN != 0 {
+			s.free = append(s.free, inst.VLAN)
+		}
+	}
+	s.mu.Unlock()
+	return nil
 }
 
 // switchMod pairs one flow-mod with its target datapath.
@@ -298,6 +325,23 @@ func flowMods(inst *Installed, command uint16) []switchMod {
 			}
 		} else {
 			actions = []openflow.Action{openflow.ActionOutput{Port: hop.OutPort}}
+		}
+		if i == 0 && p.IngressVLAN != 0 {
+			// Stitch ingress: only traffic carrying the upstream domain's
+			// tag enters, and the tag is consumed here — either rewritten
+			// by this path's own SetVLAN or stripped explicitly.
+			match.Wildcards &^= openflow.WildDLVLAN
+			match.DLVLAN = p.IngressVLAN
+			if _, retags := actions[0].(openflow.ActionSetVLAN); !retags {
+				actions = append([]openflow.Action{openflow.ActionStripVLAN{}}, actions...)
+			}
+		}
+		if i == len(p.Hops)-1 && p.EgressVLAN != 0 {
+			// Stitch egress: tag the frame for the downstream domain just
+			// before it leaves on the gateway port.
+			out := actions[len(actions)-1]
+			actions = append(actions[:len(actions)-1],
+				openflow.ActionSetVLAN{VLAN: p.EgressVLAN}, out)
 		}
 		fm := &openflow.FlowMod{
 			Match:    match,

@@ -346,3 +346,120 @@ func TestTwoChainsIsolatedByVLAN(t *testing.T) {
 	case <-time.After(100 * time.Millisecond):
 	}
 }
+
+// TestStitchedPathsHandOff splits the h1→h2 forwarding into two
+// independently installed paths joined at the s1–s2 trunk by a stitch
+// tag — exactly how internal/domain hands a chain from one orchestration
+// domain to the next. The frame must arrive at h2 untagged.
+func TestStitchedPathsHandOff(t *testing.T) {
+	n, st := twoSwitchNet(t, ModeVLAN)
+	const tag = 4094
+	// Egress half: s1 tags outbound trunk traffic.
+	if _, err := st.InstallPath(Path{
+		ID:         "half-a",
+		Hops:       []Hop{{DPID: dpid(n, "s1"), InPort: 1, OutPort: 2}},
+		EgressVLAN: tag,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Ingress half: s2 admits only traffic carrying the tag and consumes it.
+	if _, err := st.InstallPath(Path{
+		ID:          "half-b",
+		Hops:        []Hop{{DPID: dpid(n, "s2"), InPort: 1, OutPort: 2}},
+		IngressVLAN: tag,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	h1 := n.Node("h1").(*netem.Host)
+	h2 := n.Node("h2").(*netem.Host)
+	h2.SetAutoRespond(false)
+	frame, _ := pkt.BuildUDP(h1.MAC(), h2.MAC(), h1.IP(), h2.IP(), 7, 8, []byte("stitched"))
+	h1.Send(frame)
+	select {
+	case rx := <-h2.Recv():
+		sum, err := pkt.Summarize(rx.Frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sum.VLANID != -1 {
+			t.Errorf("stitch tag leaked to the host: VLAN %d", sum.VLANID)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("stitched frame never arrived")
+	}
+	if err := st.RemovePaths([]string{"half-a", "half-b"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStitchIngressFiltersUntagged: traffic without the upstream tag must
+// not enter a stitched ingress path even on the right port.
+func TestStitchIngressFiltersUntagged(t *testing.T) {
+	n, st := twoSwitchNet(t, ModeVLAN)
+	if _, err := st.InstallPath(Path{
+		ID:          "ingress-only",
+		Hops:        []Hop{{DPID: dpid(n, "s2"), InPort: 1, OutPort: 2}},
+		IngressVLAN: 4000,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Forward h1's traffic to the trunk untagged.
+	if _, err := st.InstallPath(Path{
+		ID:   "feeder",
+		Hops: []Hop{{DPID: dpid(n, "s1"), InPort: 1, OutPort: 2}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	h1 := n.Node("h1").(*netem.Host)
+	h2 := n.Node("h2").(*netem.Host)
+	h2.SetAutoRespond(false)
+	frame, _ := pkt.BuildUDP(h1.MAC(), h2.MAC(), h1.IP(), h2.IP(), 7, 8, []byte("untagged"))
+	h1.Send(frame)
+	select {
+	case <-h2.Recv():
+		t.Error("untagged frame slipped through a stitched ingress")
+	case <-time.After(150 * time.Millisecond):
+	}
+}
+
+// TestStitchTransitSegment exercises both tags on one single-switch path:
+// match+consume the inbound tag, retag for the next domain.
+func TestStitchTransitSegment(t *testing.T) {
+	n, st := twoSwitchNet(t, ModeVLAN)
+	if _, err := st.InstallPath(Path{
+		ID:          "transit",
+		Hops:        []Hop{{DPID: dpid(n, "s1"), InPort: 2, OutPort: 1}},
+		IngressVLAN: 3001,
+		EgressVLAN:  3002,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Hand a pre-tagged frame to s1's trunk port via s2 flooding is
+	// fiddly; inject directly through the s2-side: install a tagging path
+	// from h2 toward s1.
+	if _, err := st.InstallPath(Path{
+		ID:         "feed",
+		Hops:       []Hop{{DPID: dpid(n, "s2"), InPort: 2, OutPort: 1}},
+		EgressVLAN: 3001,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	h1 := n.Node("h1").(*netem.Host)
+	h2 := n.Node("h2").(*netem.Host)
+	h1.SetAutoRespond(false)
+	frame, _ := pkt.BuildUDP(h2.MAC(), h1.MAC(), h2.IP(), h1.IP(), 7, 8, []byte("transit"))
+	h2.Send(frame)
+	select {
+	case rx := <-h1.Recv():
+		sum, err := pkt.Summarize(rx.Frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The transit segment re-tagged for the (pretend) next domain.
+		if sum.VLANID != 3002 {
+			t.Errorf("frame left transit with VLAN %d, want 3002", sum.VLANID)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("transit frame never arrived")
+	}
+}
