@@ -1,5 +1,5 @@
 // Package escape's root benchmarks regenerate every experiment of
-// EXPERIMENTS.md (one benchmark per table/figure, E1–E10). Run with:
+// EXPERIMENTS.md (one benchmark per table/figure, E1–E11). Run with:
 //
 //	go test -bench=. -benchmem
 //
@@ -164,5 +164,20 @@ func BenchmarkE10MultiDomain(b *testing.B) {
 		}
 		tbl.Render(tableOut())
 		b.ReportMetric(lastFloat(tbl, 3), "svc/s@3span-flat")
+	}
+}
+
+// BenchmarkE11SelfHealing kills EEs and a trunk under live chain
+// traffic and measures failure detection latency, healing latency
+// (delta remap + migration + atomic re-steer) and the loss window, flat
+// vs hierarchical (domain-local healing).
+func BenchmarkE11SelfHealing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.E11SelfHealing([]int{1, 2}, 3, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tbl.Render(tableOut())
+		b.ReportMetric(lastFloat(tbl, 4), "heal-p50-ms@link-hier")
 	}
 }

@@ -1,5 +1,5 @@
 // Command escape-bench regenerates the evaluation tables of
-// EXPERIMENTS.md (E1–E10): workload generation, parameter sweeps,
+// EXPERIMENTS.md (E1–E11): workload generation, parameter sweeps,
 // baselines and result tables in one binary.
 //
 // Usage:
@@ -10,6 +10,7 @@
 //	escape-bench -e e6 -e6drivers single,multi
 //	escape-bench -e e9 -e9conc 4,8,16 -e9chain 3
 //	escape-bench -e e10 -e10domains 4 -e10chain 3
+//	escape-bench -e e11 -e11kills 1,2 -e11chain 4
 //	escape-bench -quick          # reduced parameters (CI-friendly)
 package main
 
@@ -47,13 +48,15 @@ func parseE6Drivers(s string) ([]click.DriverMode, error) {
 }
 
 func main() {
-	which := flag.String("e", "all", "comma-separated experiments (e1..e10) or 'all'")
+	which := flag.String("e", "all", "comma-separated experiments (e1..e11) or 'all'")
 	sizes := flag.String("sizes", "", "override E3 node counts, comma-separated")
 	e6drv := flag.String("e6drivers", "all", "E6 scheduler ablation subset: single,per-task,multi or 'all'")
 	e9conc := flag.String("e9conc", "", "override E9 concurrent-deploy counts, comma-separated")
 	e9chain := flag.Int("e9chain", 4, "E9 chain length (NFs per service)")
 	e10domains := flag.Int("e10domains", 3, "E10 number of orchestration domains")
 	e10chain := flag.Int("e10chain", 3, "E10 chain length (NFs per service)")
+	e11kills := flag.String("e11kills", "", "override E11 EE kill counts, comma-separated")
+	e11chain := flag.Int("e11chain", 3, "E11 chain length (NFs per service)")
 	quick := flag.Bool("quick", false, "reduced parameter sets")
 	flag.Parse()
 
@@ -64,7 +67,7 @@ func main() {
 
 	selected := map[string]bool{}
 	if *which == "all" {
-		for i := 1; i <= 10; i++ {
+		for i := 1; i <= 11; i++ {
 			selected[fmt.Sprintf("e%d", i)] = true
 		}
 	} else {
@@ -81,6 +84,8 @@ func main() {
 	e8 := []int{1, 2, 4, 8}
 	e9 := []int{1, 2, 4, 8, 16}
 	e10conc := 4
+	e11 := []int{1, 2}
+	e11conc := 4
 	if *quick {
 		e3sizes = []int{10, 50}
 		e4 = [3]int{8, 2, 10}
@@ -90,6 +95,8 @@ func main() {
 		e8 = []int{1, 2}
 		e9 = []int{2, 4}
 		e10conc = 2
+		e11 = []int{1}
+		e11conc = 2
 	}
 	parseInts := func(flagName, s string) []int {
 		var out []int
@@ -107,6 +114,9 @@ func main() {
 	}
 	if *e9conc != "" {
 		e9 = parseInts("-e9conc", *e9conc)
+	}
+	if *e11kills != "" {
+		e11 = parseInts("-e11kills", *e11kills)
 	}
 
 	type exp struct {
@@ -127,6 +137,9 @@ func main() {
 		{"e9", func() (*experiments.Table, error) { return experiments.E9DeployThroughput(e9, *e9chain) }},
 		{"e10", func() (*experiments.Table, error) {
 			return experiments.E10MultiDomain(*e10domains, *e10chain, e10conc)
+		}},
+		{"e11", func() (*experiments.Table, error) {
+			return experiments.E11SelfHealing(e11, *e11chain, e11conc)
 		}},
 	}
 	ran := 0

@@ -80,7 +80,7 @@ func TestDeployRollsBackStartedVNFs(t *testing.T) {
 	// ee1 must have no running VNFs left.
 	ee1 := env.Net.Node("ee1").(*netem.EE)
 	for _, name := range ee1.VNFNames() {
-		if v := ee1.VNF(name); v.State == netem.VNFRunning {
+		if v := ee1.VNF(name); v.State() == netem.VNFRunning {
 			t.Errorf("VNF %s still running after rollback", name)
 		}
 	}
@@ -139,6 +139,115 @@ func TestConcurrentDeploys(t *testing.T) {
 	}
 	if env.Steering.ActivePaths() != 0 {
 		t.Errorf("paths left: %d", env.Steering.ActivePaths())
+	}
+}
+
+// TestUndeployToleratesCrashedEEAndDeadAgent: an EE that died while its
+// service was Running must not wedge teardown — unreachable agents are
+// skipped and logged, everything else is released, and the name is
+// reusable.
+func TestUndeployToleratesCrashedEEAndDeadAgent(t *testing.T) {
+	env := startEnv(t, demoSpec())
+	g := sapGraph("orphanable", "monitor", "monitor")
+	for _, nf := range g.NFs {
+		nf.CPU = 2.5 // one NF per EE: the crash strands real work
+	}
+	svc, err := env.Orch.Deploy(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the EE hosting nf1 and kill both the container and its agent.
+	victim := svc.Placements()["nf1"]
+	env.Net.Node(victim).(*netem.EE).Crash()
+	env.Agents[victim].Close()
+
+	if err := env.Orch.Undeploy("orphanable"); err != nil {
+		t.Errorf("undeploy with dead agent errored: %v", err)
+	}
+	if got := env.Steering.ActivePaths(); got != 0 {
+		t.Errorf("steering paths leaked: %d", got)
+	}
+	for _, ee := range []string{"ee1", "ee2"} {
+		if cpu, mem := env.View.Committed(ee); cpu != 0 || mem != 0 {
+			t.Errorf("%s reservations leaked: %v cpu / %d mem", ee, cpu, mem)
+		}
+	}
+	// The surviving EE's VNF was actually stopped.
+	for _, ee := range []string{"ee1", "ee2"} {
+		if ee == victim {
+			continue
+		}
+		node := env.Net.Node(ee).(*netem.EE)
+		for _, name := range node.VNFNames() {
+			if v := node.VNF(name); v.State() == netem.VNFRunning {
+				t.Errorf("%s VNF %s still running after undeploy", ee, name)
+			}
+		}
+	}
+}
+
+// TestRollbackToleratesUnreachableAgentMidDeploy: an EE that dies before
+// realization reaches it strands the service in Realizing; the rollback
+// must tolerate the unreachable agent, stop whatever started elsewhere
+// and release every reservation and VLAN id.
+func TestRollbackToleratesUnreachableAgentMidDeploy(t *testing.T) {
+	env := startEnv(t, demoSpec())
+	env.Net.Node("ee1").(*netem.EE).Crash()
+	env.Agents["ee1"].Close()
+
+	g := sapGraph("stuck", "monitor", "monitor")
+	for _, nf := range g.NFs {
+		nf.CPU = 2.5 // placement must span both EEs, one of which is dead
+	}
+	if _, err := env.Orch.Deploy(g); err == nil {
+		t.Fatal("deploy succeeded across a dead EE")
+	}
+	if got := env.Steering.ActivePaths(); got != 0 {
+		t.Errorf("steering paths leaked: %d", got)
+	}
+	for _, ee := range []string{"ee1", "ee2"} {
+		if cpu, mem := env.View.Committed(ee); cpu != 0 || mem != 0 {
+			t.Errorf("%s reservations leaked: %v cpu / %d mem", ee, cpu, mem)
+		}
+	}
+	ee2 := env.Net.Node("ee2").(*netem.EE)
+	for _, name := range ee2.VNFNames() {
+		if v := ee2.VNF(name); v.State() == netem.VNFRunning {
+			t.Errorf("ee2 VNF %s still running after rollback", name)
+		}
+	}
+	// With the dead EE masked out of the view, the name is free again and
+	// a fresh deploy lands on the survivor.
+	env.View.ExcludeEE("ee1")
+	svc, err := env.Orch.Deploy(sapGraph("stuck", "monitor"))
+	if err != nil {
+		t.Fatalf("redeploy after tolerated rollback failed: %v", err)
+	}
+	if ee := svc.Placements()["nf1"]; ee != "ee2" {
+		t.Errorf("redeploy placed on %s despite exclusion", ee)
+	}
+}
+
+// TestUndeployAcrossDeadSwitchSucceeds: tearing down across a switch
+// that is no longer connected must not fail the delete batch — its
+// rules died with the datapath. Paths are unregistered; VLAN ids of
+// paths touching the dead switch are deliberately retained (never
+// reused) in case the datapath is somehow still forwarding stale rules.
+func TestUndeployAcrossDeadSwitchSucceeds(t *testing.T) {
+	env := startEnv(t, demoSpec())
+	g := sapGraph("vlan-keeper", "monitor", "monitor")
+	for _, nf := range g.NFs {
+		nf.CPU = 2.5 // span both switches: multi-hop paths carry VLANs
+	}
+	if _, err := env.Orch.Deploy(g); err != nil {
+		t.Fatal(err)
+	}
+	env.Net.Node("s2").(*netem.SwitchNode).Close()
+	if err := env.Orch.Undeploy("vlan-keeper"); err != nil {
+		t.Errorf("undeploy across dead switch: %v", err)
+	}
+	if got := env.Steering.ActivePaths(); got != 0 {
+		t.Errorf("paths leaked: %d", got)
 	}
 }
 

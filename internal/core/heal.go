@@ -1,0 +1,523 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"escape/internal/steering"
+	"escape/internal/vnfagent"
+)
+
+// HealPlan is the delta between a failed mapping and its healed
+// replacement: only the NFs that sat on dead EEs move, and only the SG
+// links whose endpoints moved or whose routes crossed dead links are
+// re-routed. Everything else keeps its placement, flows and counters.
+type HealPlan struct {
+	// Moved maps each migrating NF id to its new EE; OldEE records where
+	// it sat.
+	Moved map[string]string
+	OldEE map[string]string
+	// Routes maps each re-routed SG link id to its new switch route;
+	// OldRoutes records the replaced ones.
+	Routes    map[string][]string
+	OldRoutes map[string][]string
+}
+
+// Empty reports whether the failure touched nothing of this mapping.
+func (p *HealPlan) Empty() bool {
+	return len(p.Moved) == 0 && len(p.Routes) == 0
+}
+
+// AdmitHeal computes and commits a healing delta for one mapping as a
+// single critical section over the view (the healing mirror of
+// AdmitAndCommit): NFs on EEs for which eeDown reports true are
+// re-placed onto surviving EEs, and SG links whose routes cross a link
+// for which linkDown reports true — or whose endpoints moved — are
+// re-routed. On success the view's committed state reflects the new
+// mapping atomically (old placements released, new ones committed); on
+// error nothing changed. The failed EEs/links themselves are additionally
+// masked for the placement search even when the caller has not excluded
+// them view-wide.
+func (rv *ResourceView) AdmitHeal(m *Mapping, eeDown func(string) bool, linkDown func(a, b string) bool) (*HealPlan, error) {
+	rv.admitMu.Lock()
+	defer rv.admitMu.Unlock()
+
+	plan := &HealPlan{
+		Moved:     map[string]string{},
+		OldEE:     map[string]string{},
+		Routes:    map[string][]string{},
+		OldRoutes: map[string][]string{},
+	}
+	for nfID, ee := range m.Placements {
+		if eeDown(ee) {
+			plan.OldEE[nfID] = ee
+		}
+	}
+	reroute := map[string]bool{}
+	for linkID, route := range m.Routes {
+		l := m.Graph.Link(linkID)
+		if l == nil {
+			continue
+		}
+		if _, moved := plan.OldEE[l.Src.Node]; moved {
+			reroute[linkID] = true
+		}
+		if _, moved := plan.OldEE[l.Dst.Node]; moved {
+			reroute[linkID] = true
+		}
+		for i := 0; i+1 < len(route); i++ {
+			if linkDown(route[i], route[i+1]) {
+				reroute[linkID] = true
+			}
+		}
+	}
+	if len(plan.OldEE) == 0 && len(reroute) == 0 {
+		return plan, nil
+	}
+
+	caps := rv.Snapshot()
+	for ee := range caps.CPUFree {
+		if eeDown(ee) {
+			caps.exclEE[ee] = true
+		}
+	}
+	for _, l := range rv.Links {
+		if linkDown(l.A, l.B) {
+			caps.exclLk[mkLinkKey(l.A, l.B)] = true
+		}
+	}
+	// Virtually release what the delta abandons, so healing can reuse the
+	// bandwidth of its own old routes (freed compute on a dead EE is
+	// masked anyway and not added back).
+	for linkID := range reroute {
+		bw := m.linkDemand(m.Graph.Link(linkID))
+		if bw > 0 {
+			for i, route := 0, m.Routes[linkID]; i+1 < len(route); i++ {
+				k := mkLinkKey(route[i], route[i+1])
+				if _, capped := caps.BWFree[k]; capped {
+					caps.BWFree[k] += bw
+				}
+			}
+		}
+	}
+
+	// Re-place moved NFs: deterministic first fit over surviving EEs.
+	movedIDs := make([]string, 0, len(plan.OldEE))
+	for nfID := range plan.OldEE {
+		movedIDs = append(movedIDs, nfID)
+	}
+	sort.Strings(movedIDs)
+	eeNames := rv.EENames()
+	for _, nfID := range movedIDs {
+		nf := m.Graph.NF(nfID)
+		cpu, mem := m.nfDemand(nf)
+		placed := false
+		for _, ee := range eeNames {
+			if !caps.FitsEE(ee, cpu, mem) {
+				continue
+			}
+			caps.TakeEE(ee, cpu, mem)
+			plan.Moved[nfID] = ee
+			placed = true
+			break
+		}
+		if !placed {
+			return nil, fmt.Errorf("core: healing %q: no surviving EE fits NF %q (%.2f cpu, %d mem)",
+				m.Graph.Name, nfID, cpu, mem)
+		}
+	}
+
+	// Re-route affected links between the (possibly new) attach switches.
+	attach := func(node string) (string, error) {
+		if sap := rv.SAPs[node]; sap != nil {
+			return sap.Switch, nil
+		}
+		ee, ok := plan.Moved[node]
+		if !ok {
+			ee, ok = m.Placements[node]
+		}
+		if !ok {
+			return "", fmt.Errorf("core: healing %q: endpoint %q unplaced", m.Graph.Name, node)
+		}
+		res := rv.EEs[ee]
+		if res == nil {
+			return "", fmt.Errorf("core: healing %q: EE %q missing from view", m.Graph.Name, ee)
+		}
+		return res.Switch, nil
+	}
+	linkIDs := make([]string, 0, len(reroute))
+	for linkID := range reroute {
+		linkIDs = append(linkIDs, linkID)
+	}
+	sort.Strings(linkIDs)
+	for _, linkID := range linkIDs {
+		l := m.Graph.Link(linkID)
+		src, err := attach(l.Src.Node)
+		if err != nil {
+			return nil, err
+		}
+		dst, err := attach(l.Dst.Node)
+		if err != nil {
+			return nil, err
+		}
+		bw := m.linkDemand(l)
+		route := caps.ShortestFeasiblePath(src, dst, bw, l.MaxDelay)
+		if route == nil {
+			return nil, fmt.Errorf("core: healing %q: no surviving path for link %q (%s→%s)",
+				m.Graph.Name, linkID, src, dst)
+		}
+		caps.takePath(route, bw)
+		plan.Routes[linkID] = route
+		plan.OldRoutes[linkID] = m.Routes[linkID]
+	}
+
+	// Commit the delta: release abandoned placements/routes, reserve the
+	// replacements — one mutation under the view lock.
+	rv.mu.Lock()
+	defer rv.mu.Unlock()
+	for nfID, newEE := range plan.Moved {
+		nf := m.Graph.NF(nfID)
+		cpu, mem := m.nfDemand(nf)
+		rv.resCPU[plan.OldEE[nfID]] -= cpu
+		rv.resMem[plan.OldEE[nfID]] -= mem
+		rv.resCPU[newEE] += cpu
+		rv.resMem[newEE] += mem
+	}
+	for linkID, newRoute := range plan.Routes {
+		bw := m.linkDemand(m.Graph.Link(linkID))
+		if bw <= 0 {
+			continue
+		}
+		for i, route := 0, plan.OldRoutes[linkID]; i+1 < len(route); i++ {
+			rv.resBW[mkLinkKey(route[i], route[i+1])] -= bw
+		}
+		for i := 0; i+1 < len(newRoute); i++ {
+			rv.resBW[mkLinkKey(newRoute[i], newRoute[i+1])] += bw
+		}
+	}
+	return plan, nil
+}
+
+// HealReport summarizes one completed healing transaction.
+type HealReport struct {
+	Service string
+	// Moved maps migrated NF ids to their new EEs (empty when only
+	// routes changed).
+	Moved map[string]string
+	// Rerouted lists the SG link ids whose paths were re-steered.
+	Rerouted []string
+	// Duration is the wall time of the whole transaction (remap +
+	// migration + re-steering).
+	Duration time.Duration
+}
+
+// Heal runs the self-healing transaction for one Running service hit by
+// a substrate failure: Running → Healing, delta re-map with the failed
+// EEs/links excluded (AdmitHeal), migration of only the affected NFs
+// (initiate/connect/start on the new EEs; untouched NFs keep their
+// placement and flows), atomic re-steering of the changed paths (batched
+// remove+install per switch, stitch tags preserved), then back to
+// Running.
+//
+// Migration races detection: a chosen target EE may itself have just
+// died without the detector knowing yet. A migration failure therefore
+// marks its target as down and re-plans, up to one attempt per EE; only
+// when no feasible re-mapping exists — or every retry is exhausted — is
+// the service torn down to Failed with the cause.
+//
+// Heal and Undeploy serialize per service, so a service can never be
+// torn down mid-migration.
+func (o *Orchestrator) Heal(name string, eeDown func(string) bool, linkDown func(a, b string) bool) (*HealReport, error) {
+	svc := o.Service(name)
+	if svc == nil {
+		return nil, fmt.Errorf("core: service %q not deployed", name)
+	}
+	svc.opMu.Lock()
+	defer svc.opMu.Unlock()
+	if st := svc.State(); st != StateRunning {
+		return nil, fmt.Errorf("core: service %q is %s, not Running", name, st)
+	}
+	start := time.Now()
+	current := svc.mapping()
+
+	// alsoDown accumulates EEs that refused a migration this transaction
+	// (crashed after the last detector verdict): re-plans exclude them.
+	alsoDown := map[string]bool{}
+	down := func(ee string) bool { return eeDown(ee) || alsoDown[ee] }
+
+	totalMoved := map[string]string{}
+	rerouted := map[string]bool{}
+	oldDeps := map[string]*DeployedNF{}
+	staleDeps := map[*DeployedNF]bool{}
+	healing := false
+
+	// cleanupReplaced best-effort stops the instances this transaction
+	// abandoned: the originals on the dead EEs plus stale intermediates
+	// from retry targets. It runs on the success path AND on failure —
+	// teardown only walks svc.NFs (the newest deps), so without this an
+	// intermediate on a merely-sick, still-alive EE would leak its VNF
+	// registration and switch ports. Deps still active in svc.NFs are
+	// never touched: an NF realized on a healthy EE in an earlier attempt
+	// and not re-placed since stays exactly where it is.
+	cleanupReplaced := func() {
+		active := map[*DeployedNF]bool{}
+		svc.nfMu.Lock()
+		for _, dep := range svc.NFs {
+			active[dep] = true
+		}
+		svc.nfMu.Unlock()
+		var replaced []*DeployedNF
+		for _, dep := range oldDeps {
+			if dep != nil && !active[dep] {
+				replaced = append(replaced, dep)
+			}
+		}
+		for dep := range staleDeps {
+			if !active[dep] {
+				replaced = append(replaced, dep)
+			}
+		}
+		o.stopDeployedNFs(replaced)
+	}
+	fail := func(err error) (*HealReport, error) {
+		if svc.State() == StateRunning {
+			o.setState(svc, StateHealing, nil)
+		}
+		o.failService(svc, err)
+		cleanupReplaced()
+		return nil, err
+	}
+	maxAttempts := len(o.cfg.View.EEs) + 1
+	for attempt := 0; ; attempt++ {
+		plan, err := o.cfg.View.AdmitHeal(current, down, linkDown)
+		if err != nil {
+			// No feasible healing: the service cannot keep running.
+			return fail(fmt.Errorf("core: healing %q: %w", name, err))
+		}
+		if plan.Empty() {
+			break // nothing (left) to do
+		}
+		if !healing {
+			o.setState(svc, StateHealing, nil)
+			healing = true
+		}
+		// The view already reflects the healed mapping: pin it to the
+		// service before any fallible step, so a teardown on a later
+		// error releases exactly what is committed.
+		healed := current.withPlan(plan)
+		svc.setMapping(healed)
+		current = healed
+		svc.nfMu.Lock()
+		for nfID := range plan.Moved {
+			if _, seen := oldDeps[nfID]; !seen {
+				oldDeps[nfID] = svc.NFs[nfID]
+			}
+		}
+		svc.nfMu.Unlock()
+		for nfID, ee := range plan.Moved {
+			totalMoved[nfID] = ee
+		}
+		for linkID := range plan.Routes {
+			rerouted[linkID] = true
+		}
+
+		failedEE, err := o.migrate(svc, healed, plan.Moved)
+		if err == nil {
+			break
+		}
+		if failedEE == "" || attempt >= maxAttempts {
+			return fail(fmt.Errorf("core: healing %q: %w", name, err))
+		}
+		alsoDown[failedEE] = true // target died under us: re-plan without it
+		// Instances already realized on the abandoned target are stale
+		// the moment the next attempt re-places their NFs: collect them
+		// for the final cleanup pass (if the target is merely sick rather
+		// than dead, its agent will actually stop them).
+		svc.nfMu.Lock()
+		for nfID := range plan.Moved {
+			if dep := svc.NFs[nfID]; dep != nil && dep != oldDeps[nfID] {
+				staleDeps[dep] = true
+			}
+		}
+		svc.nfMu.Unlock()
+	}
+
+	report := &HealReport{Service: name, Moved: totalMoved}
+	for linkID := range rerouted {
+		report.Rerouted = append(report.Rerouted, linkID)
+	}
+	sort.Strings(report.Rerouted)
+	if !healing {
+		report.Duration = time.Since(start)
+		return report, nil
+	}
+
+	// Atomically re-steer the changed paths against the final routes: one
+	// batched remove+install, grouped per switch. Path ids are stable
+	// (service/link), stitch tags ride along in the rebuilt paths.
+	if len(report.Rerouted) > 0 {
+		newPaths := make([]steering.Path, 0, len(report.Rerouted))
+		ids := make([]string, 0, len(report.Rerouted))
+		for _, linkID := range report.Rerouted {
+			l := svc.Graph.Link(linkID)
+			p, err := o.concretePath(svc, l, current.Routes[linkID])
+			if err != nil {
+				return fail(fmt.Errorf("core: healing %q: %w", name, err))
+			}
+			newPaths = append(newPaths, *p)
+			ids = append(ids, p.ID)
+		}
+		if _, err := o.cfg.Steering.ReplacePaths(ids, newPaths); err != nil {
+			return fail(fmt.Errorf("core: healing %q: re-steering: %w", name, err))
+		}
+	}
+
+	cleanupReplaced()
+
+	o.setState(svc, StateRunning, nil)
+	report.Duration = time.Since(start)
+	return report, nil
+}
+
+// migrate realizes a set of moved NFs on their new EEs (grouped and
+// ordered per EE). On error it reports which target EE failed, so the
+// healing loop can exclude it and re-plan.
+func (o *Orchestrator) migrate(svc *Service, mapping *Mapping, moved map[string]string) (failedEE string, err error) {
+	byEE := map[string][]string{}
+	for nfID, ee := range moved {
+		byEE[ee] = append(byEE[ee], nfID)
+	}
+	ees := make([]string, 0, len(byEE))
+	for ee := range byEE {
+		sort.Strings(byEE[ee])
+		ees = append(ees, ee)
+	}
+	sort.Strings(ees)
+	for _, ee := range ees {
+		for _, nfID := range byEE[ee] {
+			if err := o.realizeNF(svc, svc.Graph, mapping, nfID, ee); err != nil {
+				return ee, fmt.Errorf("migrating %q to %q: %w", nfID, ee, err)
+			}
+		}
+	}
+	return "", nil
+}
+
+// failService drops a broken service out of the system: full teardown,
+// name freed, terminal Failed with the cause.
+func (o *Orchestrator) failService(svc *Service, cause error) {
+	o.teardown(svc)
+	o.unregister(svc)
+	o.setState(svc, StateFailed, cause)
+}
+
+// stopDeployedNFs stops and disconnects a set of already-replaced NFs,
+// tolerating unreachable agents (their EE is usually the thing that
+// died).
+func (o *Orchestrator) stopDeployedNFs(deps []*DeployedNF) {
+	byEE := map[string][]*DeployedNF{}
+	for _, dep := range deps {
+		if dep != nil {
+			byEE[dep.EE] = append(byEE[dep.EE], dep)
+		}
+	}
+	for ee, list := range byEE {
+		sort.Slice(list, func(i, j int) bool { return list[i].VNFID < list[j].VNFID })
+		pool, err := o.pool(ee)
+		if err != nil {
+			continue
+		}
+		_ = pool.Do(func(client *vnfagent.Client) error {
+			for _, dep := range list {
+				if dep.Control != "" {
+					_ = client.StopVNF(dep.VNFID)
+				}
+				devs := make([]string, 0, len(dep.SwPorts))
+				for dev := range dep.SwPorts {
+					devs = append(devs, dev)
+				}
+				sort.Strings(devs)
+				for _, dev := range devs {
+					_ = client.DisconnectVNF(dep.VNFID, dev)
+				}
+			}
+			return nil
+		})
+	}
+}
+
+// withPlan derives the healed mapping: a fresh Mapping with the plan's
+// moves and re-routes applied (the original is left untouched for
+// readers holding it).
+func (m *Mapping) withPlan(plan *HealPlan) *Mapping {
+	nm := &Mapping{
+		Graph:      m.Graph,
+		Placements: make(map[string]string, len(m.Placements)),
+		Routes:     make(map[string][]string, len(m.Routes)),
+		Catalog:    m.Catalog,
+	}
+	if m.Demands != nil {
+		nm.Demands = make(map[string]float64, len(m.Demands))
+		for k, v := range m.Demands {
+			nm.Demands[k] = v
+		}
+	}
+	for nfID, ee := range m.Placements {
+		nm.Placements[nfID] = ee
+	}
+	for nfID, ee := range plan.Moved {
+		nm.Placements[nfID] = ee
+	}
+	for linkID, route := range m.Routes {
+		nm.Routes[linkID] = route
+	}
+	for linkID, route := range plan.Routes {
+		nm.Routes[linkID] = route
+	}
+	return nm
+}
+
+// AffectedServices lists (sorted) the Running or Healing services whose
+// current mapping touches a failed EE or routes across a failed link:
+// the healing controller's work list.
+func (o *Orchestrator) AffectedServices(eeDown func(string) bool, linkDown func(a, b string) bool) []string {
+	o.mu.Lock()
+	svcs := make([]*Service, 0, len(o.services))
+	for _, svc := range o.services {
+		svcs = append(svcs, svc)
+	}
+	o.mu.Unlock()
+	var out []string
+	for _, svc := range svcs {
+		if st := svc.State(); st != StateRunning && st != StateHealing {
+			continue
+		}
+		m := svc.mapping()
+		if m == nil {
+			continue
+		}
+		hit := false
+		for _, ee := range m.Placements {
+			if eeDown(ee) {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			for _, route := range m.Routes {
+				for i := 0; i+1 < len(route) && !hit; i++ {
+					hit = linkDown(route[i], route[i+1])
+				}
+				if hit {
+					break
+				}
+			}
+		}
+		if hit {
+			out = append(out, svc.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -8,7 +8,11 @@ import (
 // ServiceState is one stage of a service's lifecycle. A deploy walks
 // Pending → Mapped → Realizing → Steering → Running; any stage may drop
 // to Failed (resources released, name freed), and Undeploy moves a
-// running service to Removed. Failed and Removed are terminal.
+// running service to Removed. A running service whose substrate fails
+// (EE crash, link down) drops to Healing while the resilience layer
+// remaps and migrates the affected NFs, then returns to Running (or
+// Failed when no feasible re-mapping exists). Failed and Removed are
+// terminal.
 type ServiceState int
 
 // Lifecycle states.
@@ -23,6 +27,10 @@ const (
 	StateSteering
 	// StateRunning: deployed, steered, carrying traffic.
 	StateRunning
+	// StateHealing: a substrate failure hit the service; affected NFs are
+	// being re-mapped, migrated and re-steered (unaffected NFs keep
+	// carrying traffic throughout).
+	StateHealing
 	// StateFailed: a deploy stage failed; resources were rolled back.
 	StateFailed
 	// StateRemoved: torn down by Undeploy.
@@ -35,6 +43,7 @@ var stateNames = [...]string{
 	StateRealizing: "Realizing",
 	StateSteering:  "Steering",
 	StateRunning:   "Running",
+	StateHealing:   "Healing",
 	StateFailed:    "Failed",
 	StateRemoved:   "Removed",
 }
@@ -58,7 +67,8 @@ var validNext = map[ServiceState][]ServiceState{
 	StateMapped:    {StateRealizing, StateFailed},
 	StateRealizing: {StateSteering, StateFailed},
 	StateSteering:  {StateRunning, StateFailed},
-	StateRunning:   {StateRemoved, StateFailed},
+	StateRunning:   {StateHealing, StateRemoved, StateFailed},
+	StateHealing:   {StateRunning, StateRemoved, StateFailed},
 }
 
 // canTransition reports whether from → to is a legal lifecycle step.
@@ -125,26 +135,25 @@ func (svc *Service) Watch() <-chan Event {
 
 // setState advances a service's state machine and notifies service
 // watchers plus orchestrator-level subscribers. Illegal transitions are
-// programming errors and ignored (the state machine never goes
-// backwards).
-func (o *Orchestrator) setState(svc *Service, to ServiceState, cause error) {
+// refused (the state machine never goes backwards) and reported as
+// false — currently informational only: Heal and Undeploy serialize on
+// svc.opMu rather than racing this edge. Deliveries happen under the
+// respective locks: sends are non-blocking, and holding the lock is what
+// makes a concurrent terminal close (watchers) or cancel (subscribers)
+// unable to interleave between snapshot and send — the
+// send-on-closed-channel race.
+func (o *Orchestrator) setState(svc *Service, to ServiceState, cause error) bool {
 	svc.lc.mu.Lock()
 	if !canTransition(svc.lc.state, to) {
 		svc.lc.mu.Unlock()
-		return
+		return false
 	}
 	svc.lc.state = to
 	if to == StateFailed {
 		svc.lc.err = cause
 	}
 	ev := Event{Service: svc.Name, State: to, Err: svc.lc.err, Time: time.Now()}
-	watchers := svc.lc.watchers
-	if to.Terminal() {
-		svc.lc.watchers = nil
-	}
-	svc.lc.mu.Unlock()
-
-	for _, ch := range watchers {
+	for _, ch := range svc.lc.watchers {
 		select {
 		case ch <- ev:
 		default: // watcher stopped draining; drop rather than block deploys
@@ -153,18 +162,20 @@ func (o *Orchestrator) setState(svc *Service, to ServiceState, cause error) {
 			close(ch)
 		}
 	}
-	o.subMu.Lock()
-	subs := make([]chan Event, 0, len(o.subs))
-	for _, ch := range o.subs {
-		subs = append(subs, ch)
+	if to.Terminal() {
+		svc.lc.watchers = nil
 	}
-	o.subMu.Unlock()
-	for _, ch := range subs {
+	svc.lc.mu.Unlock()
+
+	o.subMu.Lock()
+	for _, ch := range o.subs {
 		select {
 		case ch <- ev:
 		default:
 		}
 	}
+	o.subMu.Unlock()
+	return true
 }
 
 // Subscribe returns a channel receiving every lifecycle event of every

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"log"
 	"runtime"
 	"sort"
 	"sync"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"escape/internal/catalog"
+	"escape/internal/netconf"
 	"escape/internal/openflow"
 	"escape/internal/pox"
 	"escape/internal/sg"
@@ -127,12 +129,16 @@ type DeployedNF struct {
 
 // Service is a service chain set moving through the lifecycle engine.
 // Mapping, NFs and PhaseDurations are safe to read once the service has
-// left the corresponding phase (Deploy returns a fully Running service).
+// left the corresponding phase (Deploy returns a fully Running service);
+// note that healing replaces Mapping and the affected NFs entries — use
+// Placements/Routes for a race-free snapshot while healers may run.
 type Service struct {
-	Name    string
-	Graph   *sg.Graph
+	Name  string
+	Graph *sg.Graph
+	// Mapping is the current mapping; healing swaps in a fresh value.
 	Mapping *Mapping
-	// nfMu guards NFs while realization workers fill it in parallel.
+	// nfMu guards NFs while realization workers fill it in parallel, and
+	// the Mapping pointer while healing replaces it.
 	nfMu sync.Mutex
 	NFs  map[string]*DeployedNF
 	// PhaseDurations records per-phase deployment wall time (E8's
@@ -140,7 +146,53 @@ type Service struct {
 	PhaseDurations map[string]time.Duration
 	paths          []string // installed steering path ids
 
+	// opMu serializes whole-service operations (Heal vs Undeploy), so a
+	// service can never be torn down mid-migration.
+	opMu sync.Mutex
+
 	lc lifecycle
+}
+
+// mapping reads the current mapping pointer (healing may swap it).
+func (svc *Service) mapping() *Mapping {
+	svc.nfMu.Lock()
+	defer svc.nfMu.Unlock()
+	return svc.Mapping
+}
+
+// setMapping swaps in a healed mapping.
+func (svc *Service) setMapping(m *Mapping) {
+	svc.nfMu.Lock()
+	svc.Mapping = m
+	svc.nfMu.Unlock()
+}
+
+// Placements snapshots the current NF→EE assignment (nil until Mapped).
+func (svc *Service) Placements() map[string]string {
+	m := svc.mapping()
+	if m == nil {
+		return nil
+	}
+	out := make(map[string]string, len(m.Placements))
+	for nfID, ee := range m.Placements {
+		out[nfID] = ee
+	}
+	return out
+}
+
+// Routes snapshots the current SG-link→switch-route assignment (nil
+// until Mapped); healing may re-route, so use this instead of reading
+// Mapping.Routes while a healer runs.
+func (svc *Service) Routes() map[string][]string {
+	m := svc.mapping()
+	if m == nil {
+		return nil
+	}
+	out := make(map[string][]string, len(m.Routes))
+	for linkID, route := range m.Routes {
+		out[linkID] = append([]string(nil), route...)
+	}
+	return out
 }
 
 // reserve claims a service name: the Pending lifecycle entry. Both the
@@ -199,7 +251,7 @@ func (o *Orchestrator) Deploy(g *sg.Graph) (*Service, error) {
 		o.setState(svc, StateFailed, err)
 		return nil, err
 	}
-	svc.Mapping = mapping
+	svc.setMapping(mapping)
 	svc.PhaseDurations["map"] = time.Since(t0)
 	o.setState(svc, StateMapped, nil)
 
@@ -440,19 +492,27 @@ func (o *Orchestrator) attachPort(svc *Service, ep sg.Endpoint, dst bool) (uint1
 }
 
 // Undeploy tears a service down: steering rules out, VNFs stopped and
-// disconnected, resources released, state Removed.
+// disconnected, resources released, state Removed. Undeploy serializes
+// with Heal per service (opMu), so it can never race a migration: it
+// waits for an in-flight heal and then tears down the healed service.
 func (o *Orchestrator) Undeploy(name string) error {
 	o.mu.Lock()
 	svc := o.services[name]
+	o.mu.Unlock()
 	if svc == nil {
-		o.mu.Unlock()
 		return fmt.Errorf("core: service %q not deployed", name)
 	}
+	svc.opMu.Lock()
+	defer svc.opMu.Unlock()
 	// A reserved name whose deploy is still in flight cannot be torn
 	// down: its realization workers still mutate it.
 	if st := svc.State(); st != StateRunning {
-		o.mu.Unlock()
 		return fmt.Errorf("core: service %q is %s, not Running", name, st)
+	}
+	o.mu.Lock()
+	if o.services[name] != svc {
+		o.mu.Unlock()
+		return fmt.Errorf("core: service %q not deployed", name)
 	}
 	delete(o.services, name)
 	o.mu.Unlock()
@@ -465,8 +525,14 @@ func (o *Orchestrator) Undeploy(name string) error {
 // infrastructure: paths removed in one batch, then per EE — in parallel
 // across EEs — every started VNF is stopped and every connected device
 // is disconnected, releasing the EE's switch ports. Finally the mapping's
-// resources return to the view. Errors are collected, the first one is
-// returned, and teardown always runs to completion.
+// resources return to the view. Teardown always runs to completion and
+// must work against a broken substrate: VNF-management failures
+// (unreachable agents, crashed EEs — exactly what strands a service in
+// Realizing/Steering when an EE dies mid-deploy) are skipped and logged
+// rather than returned, since a dead EE's VNFs and ports are gone with
+// it. Steering errors are still reported (the first one is returned),
+// but a disconnected switch no longer fails the batch or leaks its
+// VLAN/tag ids (see Steering.RemovePaths).
 func (o *Orchestrator) teardown(svc *Service) error {
 	var (
 		errMu    sync.Mutex
@@ -481,6 +547,27 @@ func (o *Orchestrator) teardown(svc *Service) error {
 			firstErr = err
 		}
 		errMu.Unlock()
+	}
+	skip := func(err error) {
+		if err != nil {
+			log.Printf("core: teardown %q: skipping unreachable agent step: %v", svc.Name, err)
+		}
+	}
+	// Management errors split two ways: an unreachable agent (dial or
+	// transport failure) or a crashed EE (rpc-error tagged
+	// resource-unavailable) means the VNFs and ports are gone with the
+	// failure — skip-and-log; an ordinary rpc-error from a healthy agent
+	// is a real teardown failure and is reported, since the VNF may
+	// actually still be running.
+	handleMgmt := func(err error) {
+		if err == nil {
+			return
+		}
+		if vnfagent.IsRPCError(err) && !netconf.IsUnavailable(err) {
+			record(err)
+			return
+		}
+		skip(err)
 	}
 
 	if len(svc.paths) > 0 {
@@ -505,17 +592,21 @@ func (o *Orchestrator) teardown(svc *Service) error {
 			defer wg.Done()
 			pool, err := o.pool(ee)
 			if err != nil {
-				record(err)
+				skip(err)
 				return
 			}
 			// The closure returns its first error so Pool.Do can tell a
 			// broken transport (session discarded) from an rpc-error
 			// (session stays pooled); teardown itself still runs every
-			// remaining step.
-			record(pool.Do(func(client *vnfagent.Client) error {
+			// remaining step. Per-step errors are classified inline; the
+			// Do return only matters when the closure never ran (dial
+			// failure = unreachable agent).
+			ran := false
+			err = pool.Do(func(client *vnfagent.Client) error {
+				ran = true
 				var sessErr error
 				keep := func(err error) {
-					record(err)
+					handleMgmt(err)
 					if sessErr == nil {
 						sessErr = err
 					}
@@ -534,13 +625,16 @@ func (o *Orchestrator) teardown(svc *Service) error {
 					}
 				}
 				return sessErr
-			}))
+			})
+			if err != nil && !ran {
+				skip(err)
+			}
 		}(ee, deps)
 	}
 	wg.Wait()
 
-	if svc.Mapping != nil {
-		o.cfg.View.Release(svc.Mapping)
+	if m := svc.mapping(); m != nil {
+		o.cfg.View.Release(m)
 	}
 	return firstErr
 }
@@ -587,7 +681,7 @@ func (o *Orchestrator) ChainFlowStats(name string) (packets, bytes uint64, err e
 	if st := svc.State(); st != StateRunning {
 		return 0, 0, fmt.Errorf("core: service %q is %s, not Running", name, st)
 	}
-	for _, route := range svc.Mapping.Routes {
+	for _, route := range svc.mapping().Routes {
 		dpid := o.cfg.View.Switches[route[0]]
 		conn := o.cfg.Controller.Connection(dpid)
 		if conn == nil {

@@ -58,6 +58,15 @@ type ResourceView struct {
 	resMem map[string]int
 	resBW  map[linkKey]float64
 
+	// exclEE/exclLink mask failed resources out of the view: an excluded
+	// EE admits no placements and an excluded link carries no routes
+	// (Snapshot bakes the mask into the Capacities every mapper works
+	// on), while committed bookkeeping still covers them so releases
+	// balance. The resilience layer sets the mask on failure detection
+	// and clears it on recovery.
+	exclEE   map[string]bool
+	exclLink map[linkKey]bool
+
 	// admitMu serializes map+Commit pairs (AdmitAndCommit): a mapper
 	// works on a Snapshot, so without this critical section two
 	// concurrent deploys could both map against the same free capacity
@@ -84,7 +93,56 @@ func NewResourceView() *ResourceView {
 		resCPU:   map[string]float64{},
 		resMem:   map[string]int{},
 		resBW:    map[linkKey]float64{},
+		exclEE:   map[string]bool{},
+		exclLink: map[linkKey]bool{},
 	}
+}
+
+// ExcludeEE masks an EE out of the view: mapping and healing treat it as
+// gone until UnexcludeEE. Idempotent. Mask ownership: when a resilience
+// healer is attached to this view, it continuously reconciles the masks
+// with its failure detector's belief — masks set by other callers (e.g.
+// a manual drain) will be reverted unless the detector also considers
+// the resource down.
+func (rv *ResourceView) ExcludeEE(name string) {
+	rv.mu.Lock()
+	defer rv.mu.Unlock()
+	rv.exclEE[name] = true
+}
+
+// UnexcludeEE lifts an EE mask (failure healed).
+func (rv *ResourceView) UnexcludeEE(name string) {
+	rv.mu.Lock()
+	defer rv.mu.Unlock()
+	delete(rv.exclEE, name)
+}
+
+// ExcludeLink masks the link between two switches out of route finding.
+func (rv *ResourceView) ExcludeLink(a, b string) {
+	rv.mu.Lock()
+	defer rv.mu.Unlock()
+	rv.exclLink[mkLinkKey(a, b)] = true
+}
+
+// UnexcludeLink lifts a link mask.
+func (rv *ResourceView) UnexcludeLink(a, b string) {
+	rv.mu.Lock()
+	defer rv.mu.Unlock()
+	delete(rv.exclLink, mkLinkKey(a, b))
+}
+
+// ExcludedEE reports whether an EE is currently masked out.
+func (rv *ResourceView) ExcludedEE(name string) bool {
+	rv.mu.Lock()
+	defer rv.mu.Unlock()
+	return rv.exclEE[name]
+}
+
+// ExcludedLink reports whether the link between two switches is masked.
+func (rv *ResourceView) ExcludedLink(a, b string) bool {
+	rv.mu.Lock()
+	defer rv.mu.Unlock()
+	return rv.exclLink[mkLinkKey(a, b)]
 }
 
 // BuildResourceView scans an emulated network: switches and host-switch
@@ -169,14 +227,19 @@ func (rv *ResourceView) neighbors(sw string) []string {
 }
 
 // Capacities is a mutable snapshot of free resources used during mapping.
+// Excluded (failed) EEs and links are baked in at Snapshot time: they
+// never fit, whatever their nominal headroom.
 type Capacities struct {
 	CPUFree map[string]float64
 	MemFree map[string]int
 	BWFree  map[linkKey]float64
+	exclEE  map[string]bool
+	exclLk  map[linkKey]bool
 	rv      *ResourceView
 }
 
-// Snapshot captures current free capacities (total minus committed).
+// Snapshot captures current free capacities (total minus committed) plus
+// the exclusion mask of the moment.
 func (rv *ResourceView) Snapshot() *Capacities {
 	rv.mu.Lock()
 	defer rv.mu.Unlock()
@@ -184,6 +247,8 @@ func (rv *ResourceView) Snapshot() *Capacities {
 		CPUFree: map[string]float64{},
 		MemFree: map[string]int{},
 		BWFree:  map[linkKey]float64{},
+		exclEE:  map[string]bool{},
+		exclLk:  map[linkKey]bool{},
 		rv:      rv,
 	}
 	for name, ee := range rv.EEs {
@@ -196,6 +261,12 @@ func (rv *ResourceView) Snapshot() *Capacities {
 			c.BWFree[k] = l.Bandwidth - rv.resBW[k]
 		}
 	}
+	for name := range rv.exclEE {
+		c.exclEE[name] = true
+	}
+	for k := range rv.exclLink {
+		c.exclLk[k] = true
+	}
 	return c
 }
 
@@ -205,6 +276,8 @@ func (c *Capacities) Clone() *Capacities {
 		CPUFree: make(map[string]float64, len(c.CPUFree)),
 		MemFree: make(map[string]int, len(c.MemFree)),
 		BWFree:  make(map[linkKey]float64, len(c.BWFree)),
+		exclEE:  make(map[string]bool, len(c.exclEE)),
+		exclLk:  make(map[linkKey]bool, len(c.exclLk)),
 		rv:      c.rv,
 	}
 	for k, v := range c.CPUFree {
@@ -216,11 +289,21 @@ func (c *Capacities) Clone() *Capacities {
 	for k, v := range c.BWFree {
 		nc.BWFree[k] = v
 	}
+	for k := range c.exclEE {
+		nc.exclEE[k] = true
+	}
+	for k := range c.exclLk {
+		nc.exclLk[k] = true
+	}
 	return nc
 }
 
-// FitsEE reports whether an EE has the demanded headroom.
+// FitsEE reports whether an EE has the demanded headroom. Excluded
+// (failed) EEs never fit.
 func (c *Capacities) FitsEE(ee string, cpu float64, mem int) bool {
+	if c.exclEE[ee] {
+		return false
+	}
 	return c.CPUFree[ee] >= cpu && c.MemFree[ee] >= mem
 }
 
@@ -231,8 +314,12 @@ func (c *Capacities) TakeEE(ee string, cpu float64, mem int) {
 }
 
 // linkFits reports whether the link between two adjacent switches has bw
-// headroom (uncapacitated links always fit).
+// headroom (uncapacitated links always fit). Excluded (failed) links
+// never fit, which is what keeps re-routed paths off dead trunks.
 func (c *Capacities) linkFits(a, b string, bw float64) bool {
+	if c.exclLk[mkLinkKey(a, b)] {
+		return false
+	}
 	l := c.rv.linkBetween(a, b)
 	if l == nil {
 		return false

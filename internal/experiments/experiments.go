@@ -1,5 +1,5 @@
 // Package experiments implements the reproduction harness: one function
-// per experiment in EXPERIMENTS.md (E1–E9), each returning a Table with
+// per experiment in EXPERIMENTS.md (E1–E11), each returning a Table with
 // the same rows the evaluation reports. cmd/escape-bench prints them;
 // bench_test.go wraps them in testing.B benchmarks.
 package experiments

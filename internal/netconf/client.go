@@ -1,6 +1,7 @@
 package netconf
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -104,6 +105,32 @@ type RPCError struct {
 // Error implements error.
 func (e *RPCError) Error() string {
 	return fmt.Sprintf("netconf: rpc-error (%s/%s): %s", e.Type, e.Tag, e.Message)
+}
+
+// Error tags carried in <error-tag> (RFC 6241 subset).
+const (
+	// TagOperationFailed is the generic handler-error tag.
+	TagOperationFailed = "operation-failed"
+	// TagResourceUnavailable marks errors whose handler wrapped
+	// ErrUnavailable: the managed backend itself is gone (crashed
+	// container), not just this operation. Clients classify on it.
+	TagResourceUnavailable = "resource-unavailable"
+)
+
+// ErrUnavailable is wrapped by server-side handlers to signal that the
+// managed backend is gone; the server maps it to TagResourceUnavailable
+// so the condition survives the RPC boundary structurally instead of as
+// message text.
+var ErrUnavailable = errors.New("netconf: managed resource unavailable")
+
+// IsUnavailable reports whether err is an rpc-error carrying
+// TagResourceUnavailable (remote side) or wraps ErrUnavailable (local).
+func IsUnavailable(err error) bool {
+	var re *RPCError
+	if errors.As(err, &re) {
+		return re.Tag == TagResourceUnavailable
+	}
+	return errors.Is(err, ErrUnavailable)
 }
 
 // Get retrieves state and config (<get>).

@@ -1,6 +1,7 @@
 package netconf
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"strings"
@@ -23,6 +24,7 @@ type Server struct {
 	running   *yang.Data // <data> operational state provider
 	datastore *yang.Data // running config, edited via edit-config
 	ln        net.Listener
+	conns     map[net.Conn]struct{}
 	sessionID atomic.Uint32
 	closed    atomic.Bool
 	wg        sync.WaitGroup
@@ -94,17 +96,46 @@ func (s *Server) Addr() net.Addr {
 	return s.ln.Addr()
 }
 
-// Close stops the listener; running sessions end when their connections
-// do.
+// Close stops the listener and force-closes every running session (a
+// killed agent must not leave clients holding half-open sessions — they
+// see EOF and discard the transport).
 func (s *Server) Close() {
 	s.closed.Store(true)
-	s.mu.RLock()
+	s.mu.Lock()
 	ln := s.ln
-	s.mu.RUnlock()
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
 	if ln != nil {
 		ln.Close()
 	}
+	for _, c := range conns {
+		c.Close()
+	}
 	s.wg.Wait()
+}
+
+// track registers a live session connection for Close; it reports false
+// when the server is already closing.
+func (s *Server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed.Load() {
+		return false
+	}
+	if s.conns == nil {
+		s.conns = map[net.Conn]struct{}{}
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.conns, conn)
 }
 
 // Session is one NETCONF session on the server side.
@@ -120,6 +151,10 @@ type Session struct {
 // connection until close-session or connection loss.
 func (s *Server) ServeConn(conn net.Conn) error {
 	defer conn.Close()
+	if !s.track(conn) {
+		return fmt.Errorf("netconf: server closed")
+	}
+	defer s.untrack(conn)
 	sess := &Session{
 		ID:     s.sessionID.Add(1),
 		server: s,
@@ -232,7 +267,15 @@ func (s *Server) dispatch(sess *Session, rpc *yang.Data) *yang.Data {
 	}
 	out, err := h(sess, op)
 	if err != nil {
-		return rpcError(reply, "application", err.Error())
+		// ErrUnavailable-wrapped handler errors get their own error-tag,
+		// so clients can structurally tell "the managed backend is gone"
+		// (crashed container — teardown may skip it) from an ordinary
+		// operation failure, without matching on message text.
+		tag := TagOperationFailed
+		if errors.Is(err, ErrUnavailable) {
+			tag = TagResourceUnavailable
+		}
+		return rpcErrorTag(reply, "application", tag, err.Error())
 	}
 	if out == nil {
 		return reply.Add(yang.NewData("ok"))
@@ -241,10 +284,14 @@ func (s *Server) dispatch(sess *Session, rpc *yang.Data) *yang.Data {
 }
 
 func rpcError(reply *yang.Data, typ, msg string) *yang.Data {
+	return rpcErrorTag(reply, typ, TagOperationFailed, msg)
+}
+
+func rpcErrorTag(reply *yang.Data, typ, tag, msg string) *yang.Data {
 	return reply.Add(
 		yang.NewData("rpc-error").
 			AddLeaf("error-type", typ).
-			AddLeaf("error-tag", "operation-failed").
+			AddLeaf("error-tag", tag).
 			AddLeaf("error-severity", "error").
 			AddLeaf("error-message", msg),
 	)

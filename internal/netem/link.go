@@ -34,6 +34,28 @@ type Link struct {
 // Config returns the link's shaping parameters.
 func (l *Link) Config() LinkConfig { return l.cfg }
 
+// Fail cuts the link: frames in both directions are dropped (counted as
+// drops) until Heal, and any switch endpoint announces the lost carrier
+// to its controller via a PORT_STATUS link-down event — the signal
+// failure detectors consume. Idempotent.
+func (l *Link) Fail() { l.setFailed(true) }
+
+// Heal restores a failed link and announces the recovered carrier.
+func (l *Link) Heal() { l.setFailed(false) }
+
+// Failed reports whether the link is currently cut.
+func (l *Link) Failed() bool { return l.ab.down.Load() }
+
+func (l *Link) setFailed(down bool) {
+	l.ab.down.Store(down)
+	l.ba.down.Store(down)
+	for _, p := range []*Port{l.A, l.B} {
+		if sn, ok := p.Node.(*SwitchNode); ok {
+			sn.sw.SetPortLinkState(p.No, down)
+		}
+	}
+}
+
 // LinkStats aggregates both directions.
 type LinkStats struct {
 	ABPackets, BAPackets uint64
@@ -62,6 +84,7 @@ type pipe struct {
 	packets atomic.Uint64
 	bytes   atomic.Uint64
 	drops   atomic.Uint64
+	down    atomic.Bool // failed link: drop everything
 
 	wg   sync.WaitGroup
 	stop chan struct{}
@@ -86,7 +109,7 @@ func newPipe(cfg LinkConfig, deliver func([]byte), seedSalt int64) *pipe {
 // send enqueues a frame for transmission; a full queue drops (tail drop),
 // exactly like a real egress queue.
 func (p *pipe) send(frame []byte) {
-	if p.lose() {
+	if p.down.Load() || p.lose() {
 		p.drops.Add(1)
 		return
 	}

@@ -18,6 +18,7 @@ import (
 	"net/netip"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"escape/internal/pox"
 )
@@ -55,34 +56,40 @@ type Node interface {
 	newPort(n *Network) (*Port, error)
 }
 
-// Port is one link endpoint on a node.
+// Port is one link endpoint on a node. The link binding is atomic: a
+// switch-side port becomes visible to the (concurrently flooding)
+// datapath as soon as it is allocated, a beat before AddLink wires its
+// egress pipe — VNF connects during healing hit exactly that window.
 type Port struct {
 	Name string // "h1-eth0", "s1-eth2"
 	Node Node
 	No   uint16 // port index on the node (switch port number)
 	MAC  [6]byte
 	IP   netip.Addr // valid on host ports
-	link *Link
-	pipe *pipe // egress pipe (this port → peer)
+	link atomic.Pointer[Link]
+	pipe atomic.Pointer[pipe] // egress pipe (this port → peer)
 	recv func(frame []byte)
 }
 
 // Send transmits a frame out of this port (towards the link peer).
+// Frames sent before the link is wired are dropped, like a NIC with no
+// cable.
 func (p *Port) Send(frame []byte) {
-	if p.pipe != nil {
-		p.pipe.send(frame)
+	if pp := p.pipe.Load(); pp != nil {
+		pp.send(frame)
 	}
 }
 
 // Peer returns the other end of the attached link, or nil.
 func (p *Port) Peer() *Port {
-	if p.link == nil {
+	l := p.link.Load()
+	if l == nil {
 		return nil
 	}
-	if p.link.A == p {
-		return p.link.B
+	if l.A == p {
+		return l.B
 	}
-	return p.link.A
+	return l.A
 }
 
 // ControllerMode selects the switch↔controller transport.
@@ -188,6 +195,21 @@ func (n *Network) Links() []*Link {
 	return append([]*Link(nil), n.links...)
 }
 
+// FindLink returns the first link joining two named nodes (in either
+// direction), or nil. Fault-injection helpers use it to address a
+// specific trunk: n.FindLink("s1", "s2").Fail().
+func (n *Network) FindLink(a, b string) *Link {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	for _, l := range n.links {
+		an, bn := l.A.Node.NodeName(), l.B.Node.NodeName()
+		if (an == a && bn == b) || (an == b && bn == a) {
+			return l
+		}
+	}
+	return nil
+}
+
 func (n *Network) allocIP() netip.Addr {
 	ip := n.nextIP
 	n.nextIP++
@@ -262,8 +284,10 @@ func (n *Network) AddLink(a, b string, cfg LinkConfig) (*Link, error) {
 	l := &Link{A: pa, B: pb, cfg: cfg}
 	l.ab = newPipe(cfg, func(f []byte) { pb.recv(f) }, 1)
 	l.ba = newPipe(cfg, func(f []byte) { pa.recv(f) }, 2)
-	pa.link, pb.link = l, l
-	pa.pipe, pb.pipe = l.ab, l.ba
+	pa.link.Store(l)
+	pb.link.Store(l)
+	pa.pipe.Store(l.ab)
+	pb.pipe.Store(l.ba)
 	n.mu.Lock()
 	n.links = append(n.links, l)
 	n.mu.Unlock()

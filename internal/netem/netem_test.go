@@ -295,8 +295,8 @@ func TestEEVNFLifecycle(t *testing.T) {
 		t.Fatal(err)
 	}
 	vnf := ee.VNF("fwd1")
-	if vnf.State != VNFRunning {
-		t.Fatalf("state = %s", vnf.State)
+	if vnf.State() != VNFRunning {
+		t.Fatalf("state = %s", vnf.State())
 	}
 	if vnf.ControlAddr() == "" {
 		t.Error("no control socket address")

@@ -275,23 +275,56 @@ func (s VNFState) String() string {
 	return "UNKNOWN"
 }
 
-// VNF is one network function instance inside an EE.
+// VNF is one network function instance inside an EE. Lifecycle state and
+// the runtime handles (router, control socket) are guarded by an
+// internal lock: management RPCs and liveness probes read them while
+// start/stop/crash paths mutate.
 type VNF struct {
-	Spec  VNFSpec
-	State VNFState
+	Spec VNFSpec
 
+	mu      sync.Mutex
+	state   VNFState
 	router  *click.Router
 	control *click.ControlSocket
 	devices map[string]*eeDevice
 	cancel  context.CancelFunc
 }
 
+// State reports the VNF's lifecycle state.
+func (v *VNF) State() VNFState {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.state
+}
+
+// stopLocked halts a running VNF: control socket closed, driver
+// cancelled, router stopped, state Stopped. Callers hold v.mu. The one
+// stop protocol shared by StopVNF, Crash and the StartVNF crash-undo.
+func (v *VNF) stopLocked() {
+	if v.state != VNFRunning {
+		return
+	}
+	if v.control != nil {
+		v.control.Close()
+		v.control = nil
+	}
+	v.cancel()
+	v.router.Stop()
+	v.state = VNFStopped
+}
+
 // Router exposes the Click router (nil until started).
-func (v *VNF) Router() *click.Router { return v.router }
+func (v *VNF) Router() *click.Router {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.router
+}
 
 // ControlAddr returns the ClickControl address ("" when disabled or not
 // running).
 func (v *VNF) ControlAddr() string {
+	v.mu.Lock()
+	defer v.mu.Unlock()
 	if v.control == nil {
 		return ""
 	}
@@ -330,10 +363,65 @@ type EE struct {
 	name string
 	cfg  EEConfig
 
-	mu   sync.Mutex
-	vnfs map[string]*VNF
+	mu      sync.Mutex
+	vnfs    map[string]*VNF
+	crashed bool
 	// port→device bindings for ports allocated by ConnectVNF.
 	pending []*eeDevice // devices awaiting a port at newPort time
+}
+
+// ErrCrashed is wrapped by every EE operation rejected because the
+// container is crashed.
+var ErrCrashed = fmt.Errorf("netem: EE crashed")
+
+// checkAlive returns ErrCrashed while the EE is down. Callers hold e.mu.
+func (e *EE) checkAliveLocked() error {
+	if e.crashed {
+		return fmt.Errorf("%w: %s", ErrCrashed, e.name)
+	}
+	return nil
+}
+
+// Crash kills the container: every hosted VNF dies instantly (routers
+// stopped, devices detached — their switch ports go dark) and every
+// subsequent management operation fails with ErrCrashed until Restart.
+// The netem fault-injection entry point for EE failures.
+func (e *EE) Crash() {
+	e.mu.Lock()
+	if e.crashed {
+		e.mu.Unlock()
+		return
+	}
+	e.crashed = true
+	vnfs := e.vnfs
+	e.vnfs = map[string]*VNF{}
+	e.pending = nil
+	e.mu.Unlock()
+	for _, v := range vnfs {
+		for _, dev := range v.devices {
+			dev.mu.Lock()
+			dev.port = nil
+			dev.mu.Unlock()
+		}
+		v.mu.Lock()
+		v.stopLocked()
+		v.mu.Unlock()
+	}
+}
+
+// Restart boots a crashed EE back up, empty: like a rebooted container it
+// hosts no VNFs until the management plane re-initiates them.
+func (e *EE) Restart() {
+	e.mu.Lock()
+	e.crashed = false
+	e.mu.Unlock()
+}
+
+// Crashed reports whether the EE is currently down.
+func (e *EE) Crashed() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.crashed
 }
 
 func newEE(name string, cfg EEConfig) *EE {
@@ -365,7 +453,7 @@ func (e *EE) AvailableCPU() float64 {
 func (e *EE) availableCPULocked() float64 {
 	used := 0.0
 	for _, v := range e.vnfs {
-		if v.State != VNFStopped {
+		if v.State() != VNFStopped {
 			used += v.Spec.CPU
 		}
 	}
@@ -375,7 +463,7 @@ func (e *EE) availableCPULocked() float64 {
 func (e *EE) availableMemLocked() int {
 	used := 0
 	for _, v := range e.vnfs {
-		if v.State != VNFStopped {
+		if v.State() != VNFStopped {
 			used += v.Spec.Mem
 		}
 	}
@@ -394,6 +482,9 @@ func (e *EE) InitVNF(spec VNFSpec) (*VNF, error) {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if err := e.checkAliveLocked(); err != nil {
+		return nil, err
+	}
 	if _, dup := e.vnfs[spec.Name]; dup {
 		return nil, fmt.Errorf("netem: VNF %q already exists in %s", spec.Name, e.name)
 	}
@@ -407,7 +498,7 @@ func (e *EE) InitVNF(spec VNFSpec) (*VNF, error) {
 				e.name, spec.Mem, e.availableMemLocked())
 		}
 	}
-	v := &VNF{Spec: spec, State: VNFInitialized, devices: map[string]*eeDevice{}}
+	v := &VNF{Spec: spec, state: VNFInitialized, devices: map[string]*eeDevice{}}
 	for _, d := range spec.Devices {
 		v.devices[d] = &eeDevice{name: d, in: make(chan []byte, 1024)}
 	}
@@ -438,6 +529,10 @@ func (e *EE) VNF(name string) *VNF {
 // by the steering layer). The connectVNF RPC of the vnf_starter model.
 func (e *EE) ConnectVNF(n *Network, vnfName, devName, switchName string, cfg LinkConfig) (uint16, error) {
 	e.mu.Lock()
+	if err := e.checkAliveLocked(); err != nil {
+		e.mu.Unlock()
+		return 0, err
+	}
 	v := e.vnfs[vnfName]
 	if v == nil {
 		e.mu.Unlock()
@@ -460,8 +555,15 @@ func (e *EE) ConnectVNF(n *Network, vnfName, devName, switchName string, cfg Lin
 
 	link, err := n.AddLink(e.name, switchName, cfg)
 	if err != nil {
+		// Remove this device specifically: a concurrent Crash may have
+		// cleared pending already, so a blind pop could underflow.
 		e.mu.Lock()
-		e.pending = e.pending[:len(e.pending)-1]
+		for i, d := range e.pending {
+			if d == dev {
+				e.pending = append(e.pending[:i], e.pending[i+1:]...)
+				break
+			}
+		}
 		e.mu.Unlock()
 		return 0, err
 	}
@@ -472,6 +574,18 @@ func (e *EE) ConnectVNF(n *Network, vnfName, devName, switchName string, cfg Lin
 	dev.mu.Lock()
 	dev.port = eePort
 	dev.mu.Unlock()
+	// Re-check liveness (mirrors StartVNF): a Crash that interleaved with
+	// the link creation already detached this EE's devices — undo the
+	// wiring so a crashed EE cannot hand out a "connected" port.
+	e.mu.Lock()
+	crashed := e.crashed
+	e.mu.Unlock()
+	if crashed {
+		dev.mu.Lock()
+		dev.port = nil
+		dev.mu.Unlock()
+		return 0, fmt.Errorf("%w: %s", ErrCrashed, e.name)
+	}
 	return swPort.No, nil
 }
 
@@ -480,6 +594,9 @@ func (e *EE) ConnectVNF(n *Network, vnfName, devName, switchName string, cfg Lin
 func (e *EE) DisconnectVNF(vnfName, devName string) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if err := e.checkAliveLocked(); err != nil {
+		return err
+	}
 	v := e.vnfs[vnfName]
 	if v == nil {
 		return fmt.Errorf("netem: no VNF %q in %s", vnfName, e.name)
@@ -522,12 +639,38 @@ func (e *EE) newPort(n *Network) (*Port, error) {
 // RPC.
 func (e *EE) StartVNF(name string) error {
 	e.mu.Lock()
+	if err := e.checkAliveLocked(); err != nil {
+		e.mu.Unlock()
+		return err
+	}
 	v := e.vnfs[name]
 	e.mu.Unlock()
 	if v == nil {
 		return fmt.Errorf("netem: no VNF %q in %s", name, e.name)
 	}
-	if v.State == VNFRunning {
+	if err := e.startVNFLocked(v, name); err != nil {
+		return err
+	}
+	// Re-check liveness: a Crash that slipped between the admission check
+	// and the router start has already discarded this VNF from e.vnfs —
+	// undo the start so the router does not leak past the crash.
+	e.mu.Lock()
+	alive := !e.crashed && e.vnfs[name] == v
+	e.mu.Unlock()
+	if !alive {
+		v.mu.Lock()
+		v.stopLocked()
+		v.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrCrashed, e.name)
+	}
+	return nil
+}
+
+// startVNFLocked builds and launches one VNF's router under its lock.
+func (e *EE) startVNFLocked(v *VNF, name string) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.state == VNFRunning {
 		return fmt.Errorf("netem: VNF %q already running", name)
 	}
 	devices := map[string]click.Device{}
@@ -549,28 +692,40 @@ func (e *EE) StartVNF(name string) error {
 	ctx, cancel := context.WithCancel(context.Background())
 	v.cancel = cancel
 	go router.Run(ctx)
-	v.State = VNFRunning
+	v.state = VNFRunning
 	return nil
 }
 
 // StopVNF halts a running VNF and releases its resources. The stopVNF RPC.
 func (e *EE) StopVNF(name string) error {
 	e.mu.Lock()
+	if err := e.checkAliveLocked(); err != nil {
+		e.mu.Unlock()
+		return err
+	}
 	v := e.vnfs[name]
 	e.mu.Unlock()
 	if v == nil {
 		return fmt.Errorf("netem: no VNF %q in %s", name, e.name)
 	}
-	if v.State != VNFRunning {
+	v.mu.Lock()
+	running := v.state == VNFRunning
+	if running {
+		v.stopLocked()
+	}
+	v.mu.Unlock()
+	if !running {
+		// A Crash interleaving after the admission check stops the VNF
+		// itself; report the crash, not a confusing "not running" (the
+		// crash error is tolerated by teardown, a generic one is not).
+		e.mu.Lock()
+		crashed := e.crashed
+		e.mu.Unlock()
+		if crashed {
+			return fmt.Errorf("%w: %s", ErrCrashed, e.name)
+		}
 		return fmt.Errorf("netem: VNF %q is not running", name)
 	}
-	if v.control != nil {
-		v.control.Close()
-		v.control = nil
-	}
-	v.cancel()
-	v.router.Stop()
-	v.State = VNFStopped
 	return nil
 }
 
@@ -579,7 +734,7 @@ func (e *EE) Close() {
 	e.mu.Lock()
 	names := make([]string, 0, len(e.vnfs))
 	for n, v := range e.vnfs {
-		if v.State == VNFRunning {
+		if v.State() == VNFRunning {
 			names = append(names, n)
 		}
 	}

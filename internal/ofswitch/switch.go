@@ -25,6 +25,23 @@ type Port struct {
 	rxPackets, txPackets atomic.Uint64
 	rxBytes, txBytes     atomic.Uint64
 	rxDropped, txDropped atomic.Uint64
+
+	// linkDown mirrors the carrier state of the attached link: a down
+	// port drops traffic in both directions and is reported with
+	// PortStateLinkDown in FEATURES_REPLY and PORT_STATUS.
+	linkDown atomic.Bool
+}
+
+// LinkDown reports whether the port's carrier is down.
+func (p *Port) LinkDown() bool { return p.linkDown.Load() }
+
+// phyPort renders the port for the wire (features reply, port status).
+func (p *Port) phyPort() openflow.PhyPort {
+	pp := openflow.PhyPort{PortNo: p.No, HWAddr: p.HWAddr, Name: p.Name}
+	if p.linkDown.Load() {
+		pp.State = openflow.PortStateLinkDown
+	}
+	return pp
 }
 
 // Stats snapshots the port counters.
@@ -62,9 +79,9 @@ type Switch struct {
 	ports map[uint16]*Port
 	table *FlowTable
 
-	connMu sync.Mutex // guards conn and outCh swap
+	connMu sync.Mutex // guards conn and outbox swap
 	conn   net.Conn
-	outCh  chan []byte // encoded messages, drained by the writer goroutine
+	out    *outbox // encoded messages, drained by the writer goroutine
 	xid    atomic.Uint32
 
 	bufMu   sync.Mutex
@@ -135,9 +152,26 @@ func (s *Switch) AddPort(p *Port) error {
 	s.mu.Unlock()
 	s.sendAsync(&openflow.PortStatus{
 		Reason: openflow.PortReasonAdd,
-		Desc:   openflow.PhyPort{PortNo: p.No, HWAddr: p.HWAddr, Name: p.Name},
+		Desc:   p.phyPort(),
 	})
 	return nil
+}
+
+// SetPortLinkState flips a port's carrier and announces the change to the
+// controller as a PORT_STATUS MODIFY — the OpenFlow signal failure
+// detectors subscribe to. Unknown ports are ignored. Idempotent: only an
+// actual state change is announced.
+func (s *Switch) SetPortLinkState(no uint16, down bool) {
+	s.mu.RLock()
+	p := s.ports[no]
+	s.mu.RUnlock()
+	if p == nil || p.linkDown.Swap(down) == down {
+		return
+	}
+	s.sendAsync(&openflow.PortStatus{
+		Reason: openflow.PortReasonModify,
+		Desc:   p.phyPort(),
+	})
 }
 
 // PortCount reports the number of ports.
@@ -166,6 +200,10 @@ func (s *Switch) Input(no uint16, frame []byte) {
 	port := s.ports[no]
 	s.mu.RUnlock()
 	if port == nil {
+		return
+	}
+	if port.linkDown.Load() {
+		port.rxDropped.Add(1)
 		return
 	}
 	port.rxPackets.Add(1)
@@ -217,6 +255,10 @@ func (s *Switch) applyActions(actions []openflow.Action, frame []byte, inPort ui
 func (s *Switch) output(port uint16, work []byte, inPort uint16, maxLen uint16) {
 	// Each transmission gets its own copy: downstream consumers own it.
 	send := func(p *Port) {
+		if p.linkDown.Load() {
+			p.txDropped.Add(1)
+			return
+		}
 		frame := make([]byte, len(work))
 		copy(frame, work)
 		p.txPackets.Add(1)
@@ -347,6 +389,65 @@ func (s *Switch) Stop() {
 
 // --- control channel ---
 
+// outbox is the switch→controller send queue. It has two lanes: replies
+// (barrier, stats, features, echo, error — paired with a controller
+// request) are unbounded and never dropped, asynchronous events
+// (PACKET_IN, FLOW_REMOVED, PORT_STATUS) are bounded and dropped when
+// the controller stops draining. Enqueueing never blocks, so the switch
+// control loop can always make progress — blocking here would deadlock
+// synchronous transports (net.Pipe) when both sides write at once —
+// while the reply lane stays lossless under PACKET_IN floods (a dropped
+// BarrierReply would turn a burst into a 5s barrier timeout upstairs).
+type outbox struct {
+	mu        sync.Mutex
+	replies   [][]byte
+	events    [][]byte
+	maxEvents int
+	notify    chan struct{}
+}
+
+func newOutbox(maxEvents int) *outbox {
+	return &outbox{maxEvents: maxEvents, notify: make(chan struct{}, 1)}
+}
+
+// push enqueues an encoded message; event pushes report false when the
+// event lane is full (the message is dropped).
+func (o *outbox) push(buf []byte, reply bool) bool {
+	o.mu.Lock()
+	if reply {
+		o.replies = append(o.replies, buf)
+	} else {
+		if len(o.events) >= o.maxEvents {
+			o.mu.Unlock()
+			return false
+		}
+		o.events = append(o.events, buf)
+	}
+	o.mu.Unlock()
+	select {
+	case o.notify <- struct{}{}:
+	default:
+	}
+	return true
+}
+
+// pop dequeues the next message, replies first; nil when empty.
+func (o *outbox) pop() []byte {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if n := len(o.replies); n > 0 {
+		buf := o.replies[0]
+		o.replies = o.replies[1:]
+		return buf
+	}
+	if n := len(o.events); n > 0 {
+		buf := o.events[0]
+		o.events = o.events[1:]
+		return buf
+	}
+	return nil
+}
+
 // ConnectController performs the OpenFlow handshake over conn and starts
 // the message loop. It returns after the handshake (HELLO exchange)
 // completes; FEATURES negotiation happens inside the loop.
@@ -355,12 +456,12 @@ func (s *Switch) Stop() {
 // control loop never blocks on a write: required for synchronous
 // transports like net.Pipe and protective against slow controllers.
 func (s *Switch) ConnectController(conn net.Conn) error {
-	outCh := make(chan []byte, 1024)
+	out := newOutbox(1024)
 	s.connMu.Lock()
 	s.conn = conn
-	s.outCh = outCh
+	s.out = out
 	s.connMu.Unlock()
-	go s.writeLoop(conn, outCh)
+	go s.writeLoop(conn, out)
 	if err := s.send(&openflow.Hello{}); err != nil {
 		return fmt.Errorf("ofswitch: sending hello: %w", err)
 	}
@@ -375,15 +476,29 @@ func (s *Switch) ConnectController(conn net.Conn) error {
 	return nil
 }
 
-func (s *Switch) writeLoop(conn net.Conn, outCh chan []byte) {
+func (s *Switch) writeLoop(conn net.Conn, out *outbox) {
+	// On exit (stop or dead connection) detach the outbox: its reply
+	// lane is unbounded, and with no drainer left further pushes would
+	// accumulate forever on a long-lived emulation with link churn.
+	defer func() {
+		s.connMu.Lock()
+		if s.out == out {
+			s.out = nil
+		}
+		s.connMu.Unlock()
+	}()
 	for {
-		select {
-		case <-s.stopCh:
-			return
-		case buf := <-outCh:
-			if _, err := conn.Write(buf); err != nil {
+		buf := out.pop()
+		if buf == nil {
+			select {
+			case <-s.stopCh:
 				return
+			case <-out.notify:
 			}
+			continue
+		}
+		if _, err := conn.Write(buf); err != nil {
+			return
 		}
 	}
 }
@@ -406,7 +521,7 @@ func (s *Switch) handleMessage(msg openflow.Message, h openflow.Header) {
 		s.mu.RLock()
 		ports := make([]openflow.PhyPort, 0, len(s.ports))
 		for _, p := range s.ports {
-			ports = append(ports, openflow.PhyPort{PortNo: p.No, HWAddr: p.HWAddr, Name: p.Name})
+			ports = append(ports, p.phyPort())
 		}
 		s.mu.RUnlock()
 		sort.Slice(ports, func(i, j int) bool { return ports[i].PortNo < ports[j].PortNo })
@@ -513,19 +628,29 @@ func (s *Switch) send(msg openflow.Message) error {
 
 func (s *Switch) sendXID(msg openflow.Message, xid uint32) error {
 	s.connMu.Lock()
-	outCh := s.outCh
+	out := s.out
 	s.connMu.Unlock()
-	if outCh == nil {
+	if out == nil {
 		return fmt.Errorf("ofswitch: not connected")
 	}
-	select {
-	case outCh <- openflow.Encode(msg, xid):
-		return nil
+	var reply bool
+	switch msg.MsgType() {
+	case openflow.TypePacketIn, openflow.TypeFlowRemoved:
+		reply = false // async event: droppable under backpressure
 	default:
-		// A full outbox means the controller stopped draining; dropping
-		// beats deadlocking the data path.
+		// Replies (request-paired) and PORT_STATUS use the lossless lane.
+		// PORT_STATUS is the sole link-failure signal — the failure
+		// detector has no polling fallback, so dropping one under a
+		// PACKET_IN flood would hide a dead (or healed) link forever; its
+		// volume is bounded by topology churn, not traffic.
+		reply = true
+	}
+	if !out.push(openflow.Encode(msg, xid), reply) {
+		// A full event lane means the controller stopped draining;
+		// dropping beats deadlocking the data path.
 		return fmt.Errorf("ofswitch: control outbox full, dropping %s", msg.MsgType())
 	}
+	return nil
 }
 
 // sendAsync sends when connected and silently drops otherwise (events

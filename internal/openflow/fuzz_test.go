@@ -34,6 +34,18 @@ func fuzzSeedMessages() []Message {
 		},
 		&FlowRemoved{Match: MatchAll(), Priority: 7, Reason: RemReasonIdleTimeout, PacketCount: 9},
 		&PortStatus{Reason: PortReasonAdd, Desc: PhyPort{PortNo: 2, HWAddr: mac, Name: "veth1"}},
+		// The failure-detector path: a MODIFY carrying link-down state,
+		// and one with an administratively-disabled config.
+		&PortStatus{Reason: PortReasonModify, Desc: PhyPort{
+			PortNo: 3, HWAddr: mac, Name: "s1-eth3", State: PortStateLinkDown,
+		}},
+		&PortStatus{Reason: PortReasonModify, Desc: PhyPort{
+			PortNo: 4, HWAddr: mac, Name: "s1-eth4", Config: PortConfigDown,
+		}},
+		&FeaturesReply{
+			DatapathID: 0x7, NBuffers: 64, NTables: 1,
+			Ports: []PhyPort{{PortNo: 1, HWAddr: mac, Name: "gone", State: PortStateLinkDown}},
+		},
 		&StatsRequest{StatsType: StatsFlow, Match: MatchAll(), OutPort: PortNone},
 		&StatsRequest{StatsType: StatsPort, PortNo: 1},
 		&StatsReply{StatsType: StatsFlow, Flows: []FlowStats{{

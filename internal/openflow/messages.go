@@ -77,6 +77,12 @@ type PhyPort struct {
 	PortNo uint16
 	HWAddr pkt.MAC
 	Name   string // max 15 chars on the wire
+	// Config carries administrative flags (PortConfigDown when the port
+	// is administratively disabled).
+	Config uint32
+	// State carries link state (PortStateLinkDown when no carrier): the
+	// signal failure detectors read out of PORT_STATUS events.
+	State uint32
 }
 
 const phyPortLen = 48
@@ -86,6 +92,8 @@ func (p *PhyPort) encode(b []byte) []byte {
 	binary.BigEndian.PutUint16(buf[0:2], p.PortNo)
 	copy(buf[2:8], p.HWAddr[:])
 	copy(buf[8:24], p.Name)
+	binary.BigEndian.PutUint32(buf[24:28], p.Config)
+	binary.BigEndian.PutUint32(buf[28:32], p.State)
 	return append(b, buf...)
 }
 
@@ -103,7 +111,15 @@ func (p *PhyPort) decode(data []byte) error {
 		}
 	}
 	p.Name = string(name)
+	p.Config = binary.BigEndian.Uint32(data[24:28])
+	p.State = binary.BigEndian.Uint32(data[28:32])
 	return nil
+}
+
+// LinkDown reports whether the port has no carrier (failed link) or is
+// administratively down.
+func (p *PhyPort) LinkDown() bool {
+	return p.State&PortStateLinkDown != 0 || p.Config&PortConfigDown != 0
 }
 
 // FeaturesReply describes the datapath.

@@ -112,6 +112,16 @@ const (
 	PortReasonModify uint8 = 2
 )
 
+// Port config flags (ofp_port_config subset).
+const (
+	PortConfigDown uint32 = 1 << 0
+)
+
+// Port state flags (ofp_port_state subset).
+const (
+	PortStateLinkDown uint32 = 1 << 0
+)
+
 // Error types (subset).
 const (
 	ErrTypeHelloFailed   uint16 = 0

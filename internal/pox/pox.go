@@ -287,16 +287,25 @@ func (c *Connection) readLoop() error {
 		if err != nil {
 			return err
 		}
-		// Synchronous waiters (stats, barrier) get first claim.
-		c.pendMu.Lock()
-		ch, waiting := c.pending[h.XID]
-		if waiting {
-			delete(c.pending, h.XID)
-		}
-		c.pendMu.Unlock()
-		if waiting {
-			ch <- msg
-			continue
+		// Synchronous waiters (stats, barrier) get first claim — but only
+		// on actual reply types. Switch-initiated events (PACKET_IN,
+		// FLOW_REMOVED, PORT_STATUS, ECHO_REQUEST) use the switch's own
+		// xid counter and may collide with a pending request xid; they
+		// must never be mistaken for a reply.
+		switch msg.MsgType() {
+		case openflow.TypePacketIn, openflow.TypeFlowRemoved,
+			openflow.TypePortStatus, openflow.TypeEchoRequest:
+		default:
+			c.pendMu.Lock()
+			ch, waiting := c.pending[h.XID]
+			if waiting {
+				delete(c.pending, h.XID)
+			}
+			c.pendMu.Unlock()
+			if waiting {
+				ch <- msg
+				continue
+			}
 		}
 		switch m := msg.(type) {
 		case *openflow.EchoRequest:

@@ -174,18 +174,6 @@ func (s *Steering) register(paths []Path) ([]*Installed, error) {
 	return insts, nil
 }
 
-// unregister releases ids and VLANs of a failed installation.
-func (s *Steering) unregister(insts []*Installed) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, inst := range insts {
-		delete(s.active, inst.Path.ID)
-		if inst.VLAN != 0 {
-			s.free = append(s.free, inst.VLAN)
-		}
-	}
-}
-
 // InstallPath installs the flow entries for one path and blocks until the
 // switches confirm (barrier). Paths are identified by Path.ID; installing
 // a duplicate id fails.
@@ -225,14 +213,25 @@ func (s *Steering) InstallPaths(paths []Path) ([]*Installed, error) {
 }
 
 // rollback deletes whatever rules of a failed batch may have reached
-// switches (best-effort) and unregisters the batch.
+// switches (best-effort, tolerating switches that died mid-batch) and
+// unregisters the batch. A VLAN whose deletes were not all confirmed —
+// delete error, or hops on a dead switch — is retained (leaked) rather
+// than freed: stale rules on a live switch could otherwise capture a
+// later chain that reuses the id.
 func (s *Steering) rollback(insts []*Installed) {
 	var mods []switchMod
 	for _, inst := range insts {
 		mods = append(mods, flowMods(inst, openflow.FCDeleteStrict)...)
 	}
-	_ = s.sendMods(mods)
-	s.unregister(insts)
+	dead, err := s.sendModsTolerant(mods, true)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, inst := range insts {
+		delete(s.active, inst.Path.ID)
+		if inst.VLAN != 0 && err == nil && !touchesDead(inst, dead) {
+			s.free = append(s.free, inst.VLAN)
+		}
+	}
 }
 
 // RemovePath uninstalls a previously installed path.
@@ -265,7 +264,10 @@ func (s *Steering) RemovePaths(ids []string) error {
 	for _, inst := range insts {
 		mods = append(mods, flowMods(inst, openflow.FCDeleteStrict)...)
 	}
-	err := s.sendMods(mods)
+	// Deletes aimed at disconnected switches are skipped (their rules are
+	// gone with the datapath) — without this, tearing a service down
+	// across a dead switch would fail the whole batch.
+	dead, err := s.sendModsTolerant(mods, true)
 	if err != nil {
 		// A VLAN whose delete was not confirmed may still be matched by
 		// stale rules on some switch: leak it rather than let a later
@@ -274,12 +276,84 @@ func (s *Steering) RemovePaths(ids []string) error {
 	}
 	s.mu.Lock()
 	for _, inst := range insts {
-		if inst.VLAN != 0 {
+		// Same safeguard for skipped deletes: a path with hops on a
+		// dead switch keeps (leaks) its VLAN, in case that datapath is
+		// somehow still forwarding its stale rules.
+		if inst.VLAN != 0 && !touchesDead(inst, dead) {
 			s.free = append(s.free, inst.VLAN)
 		}
 	}
 	s.mu.Unlock()
 	return nil
+}
+
+// ReplacePaths atomically swaps a set of installed paths for their
+// replacements in one batched push: every delete for the old rules and
+// every add for the new ones is grouped per switch and confirmed with a
+// single barrier per touched switch — the healing layer's re-steer
+// primitive (ids are typically reused, so a chain's path identity
+// survives its migration). Deletes targeting switches that are no longer
+// connected are skipped (their rules died with the datapath); installs
+// still require live switches. On error the new paths are rolled back
+// and the old ones stay registered, so a subsequent teardown still finds
+// every id.
+func (s *Steering) ReplacePaths(removeIDs []string, paths []Path) ([]*Installed, error) {
+	if len(removeIDs) == 0 {
+		return s.InstallPaths(paths)
+	}
+	s.mu.Lock()
+	oldInsts := make([]*Installed, 0, len(removeIDs))
+	for _, id := range removeIDs {
+		inst := s.active[id]
+		if inst == nil {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("steering: path %q not installed", id)
+		}
+		oldInsts = append(oldInsts, inst)
+	}
+	for _, inst := range oldInsts {
+		delete(s.active, inst.Path.ID)
+	}
+	s.mu.Unlock()
+
+	restoreOld := func() {
+		s.mu.Lock()
+		for _, inst := range oldInsts {
+			s.active[inst.Path.ID] = inst
+		}
+		s.mu.Unlock()
+	}
+	newInsts, err := s.register(paths)
+	if err != nil {
+		restoreOld()
+		return nil, err
+	}
+
+	var mods []switchMod
+	for _, inst := range oldInsts {
+		mods = append(mods, flowMods(inst, openflow.FCDeleteStrict)...)
+	}
+	for _, inst := range newInsts {
+		pm := flowMods(inst, openflow.FCAdd)
+		inst.RuleCount = len(pm)
+		mods = append(mods, pm...)
+	}
+	dead, err := s.sendModsTolerant(mods, true)
+	if err != nil {
+		s.rollback(newInsts)
+		restoreOld()
+		return nil, err
+	}
+	s.mu.Lock()
+	for _, inst := range oldInsts {
+		// Keep (leak) the VLAN of any old path whose delete was skipped
+		// on a dead switch — see RemovePaths.
+		if inst.VLAN != 0 && !touchesDead(inst, dead) {
+			s.free = append(s.free, inst.VLAN)
+		}
+	}
+	s.mu.Unlock()
+	return newInsts, nil
 }
 
 // switchMod pairs one flow-mod with its target datapath.
@@ -363,17 +437,54 @@ func flowMods(inst *Installed, command uint16) []switchMod {
 // one barrier per touched switch (run concurrently) so the rules are live
 // before traffic is admitted (demo step 4 depends on this).
 func (s *Steering) sendMods(mods []switchMod) error {
+	_, err := s.sendModsTolerant(mods, false)
+	return err
+}
+
+// sendMods pushes strictly; no deletes are skipped and dead is nil.
+// sendModsTolerant is sendMods with an escape hatch for teardown and
+// healing: with skipDeadDeletes, delete commands aimed at a switch that
+// is no longer connected are silently dropped — the rules died with the
+// datapath, and refusing the whole batch would fail teardown outright.
+// The skipped datapaths are reported so callers can keep (leak) the
+// VLAN ids of paths whose deletes were never confirmed: if such a
+// switch were in fact still forwarding, a reused VLAN could capture
+// another chain's traffic. Non-delete commands always require a live
+// switch.
+func (s *Steering) sendModsTolerant(mods []switchMod, skipDeadDeletes bool) (map[uint64]bool, error) {
+	isDelete := func(fm *openflow.FlowMod) bool {
+		return fm.Command == openflow.FCDelete || fm.Command == openflow.FCDeleteStrict
+	}
 	touched := map[uint64]*pox.Connection{}
+	dead := map[uint64]bool{}
 	for _, m := range mods {
+		if dead[m.dpid] {
+			if isDelete(m.fm) {
+				continue
+			}
+			return dead, fmt.Errorf("steering: switch %#x not connected", m.dpid)
+		}
 		conn := touched[m.dpid]
 		if conn == nil {
 			if conn = s.ctrl.Connection(m.dpid); conn == nil {
-				return fmt.Errorf("steering: switch %#x not connected", m.dpid)
+				if skipDeadDeletes && isDelete(m.fm) {
+					dead[m.dpid] = true
+					continue
+				}
+				return dead, fmt.Errorf("steering: switch %#x not connected", m.dpid)
 			}
 			touched[m.dpid] = conn
 		}
 		if err := conn.SendFlowMod(m.fm); err != nil {
-			return fmt.Errorf("steering: flow-mod on %#x: %w", m.dpid, err)
+			// A send error on a delete means the datapath died under us
+			// (its connection may outlive the pipe by a beat): same
+			// treatment as not-connected.
+			if skipDeadDeletes && isDelete(m.fm) {
+				dead[m.dpid] = true
+				delete(touched, m.dpid)
+				continue
+			}
+			return dead, fmt.Errorf("steering: flow-mod on %#x: %w", m.dpid, err)
 		}
 	}
 	errs := make(chan error, len(touched))
@@ -392,5 +503,16 @@ func (s *Steering) sendMods(mods []switchMod) error {
 			firstErr = err
 		}
 	}
-	return firstErr
+	return dead, firstErr
+}
+
+// touchesDead reports whether any of a path's hops sits on a datapath
+// whose deletes were skipped.
+func touchesDead(inst *Installed, dead map[uint64]bool) bool {
+	for _, hop := range inst.Path.Hops {
+		if dead[hop.DPID] {
+			return true
+		}
+	}
+	return false
 }

@@ -13,6 +13,7 @@
 package vnfagent
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"sync"
@@ -94,6 +95,17 @@ func Module() *yang.Module {
 			},
 		},
 	}
+}
+
+// eeErr translates a crashed-container failure into the structured
+// netconf unavailable marker, so the condition crosses the RPC boundary
+// as TagResourceUnavailable instead of message text (orchestrator
+// teardown classifies on it).
+func eeErr(err error) error {
+	if err != nil && errors.Is(err, netem.ErrCrashed) {
+		return fmt.Errorf("%w: %v", netconf.ErrUnavailable, err)
+	}
+	return err
 }
 
 // vnfRecord tracks agent-side metadata for one VNF.
@@ -206,7 +218,7 @@ func (a *Agent) rpcInitiate(_ *netconf.Session, in *yang.Data) (*yang.Data, erro
 		ControlSocket: true,
 	})
 	if err != nil {
-		return nil, err
+		return nil, eeErr(err)
 	}
 	a.mu.Lock()
 	a.records[id] = &vnfRecord{id: id, vnfType: typeName, ports: typ.Ports, switches: map[string]uint16{}}
@@ -217,20 +229,27 @@ func (a *Agent) rpcInitiate(_ *netconf.Session, in *yang.Data) (*yang.Data, erro
 func (a *Agent) rpcStart(_ *netconf.Session, in *yang.Data) (*yang.Data, error) {
 	id := in.ChildText("vnf_id")
 	if err := a.ee.StartVNF(id); err != nil {
-		return nil, err
+		return nil, eeErr(err)
 	}
 	v := a.ee.VNF(id)
+	if v == nil { // EE crashed between start and readback
+		return nil, fmt.Errorf("%w: VNF %q vanished", netconf.ErrUnavailable, id)
+	}
 	return yang.NewData("output").
-		AddLeaf("status", v.State.String()).
+		AddLeaf("status", v.State().String()).
 		AddLeaf("control", v.ControlAddr()), nil
 }
 
 func (a *Agent) rpcStop(_ *netconf.Session, in *yang.Data) (*yang.Data, error) {
 	id := in.ChildText("vnf_id")
 	if err := a.ee.StopVNF(id); err != nil {
-		return nil, err
+		return nil, eeErr(err)
 	}
-	return yang.NewData("output").AddLeaf("status", a.ee.VNF(id).State.String()), nil
+	v := a.ee.VNF(id)
+	if v == nil { // EE crashed between stop and readback
+		return nil, fmt.Errorf("%w: VNF %q vanished", netconf.ErrUnavailable, id)
+	}
+	return yang.NewData("output").AddLeaf("status", v.State().String()), nil
 }
 
 func (a *Agent) rpcConnect(_ *netconf.Session, in *yang.Data) (*yang.Data, error) {
@@ -241,7 +260,7 @@ func (a *Agent) rpcConnect(_ *netconf.Session, in *yang.Data) (*yang.Data, error
 	port, err := a.ee.ConnectVNF(a.net, id, dev, sw, netem.LinkConfig{})
 	a.connectMu.Unlock()
 	if err != nil {
-		return nil, err
+		return nil, eeErr(err)
 	}
 	a.mu.Lock()
 	if rec := a.records[id]; rec != nil {
@@ -255,7 +274,7 @@ func (a *Agent) rpcDisconnect(_ *netconf.Session, in *yang.Data) (*yang.Data, er
 	id := in.ChildText("vnf_id")
 	dev := in.ChildText("vnf_port")
 	if err := a.ee.DisconnectVNF(id, dev); err != nil {
-		return nil, err
+		return nil, eeErr(err)
 	}
 	a.mu.Lock()
 	if rec := a.records[id]; rec != nil {
@@ -266,6 +285,11 @@ func (a *Agent) rpcDisconnect(_ *netconf.Session, in *yang.Data) (*yang.Data, er
 }
 
 func (a *Agent) rpcGetInfo(_ *netconf.Session, in *yang.Data) (*yang.Data, error) {
+	// A crashed container must not look healthy: getVNFInfo doubles as
+	// the liveness probe of the resilience layer's failure detector.
+	if a.ee.Crashed() {
+		return nil, fmt.Errorf("%w: EE %s crashed", netconf.ErrUnavailable, a.ee.NodeName())
+	}
 	return a.stateProvider(), nil
 }
 
@@ -281,7 +305,7 @@ func (a *Agent) stateProvider() *yang.Data {
 		}
 		entry := yang.NewData("vnf").
 			AddLeaf("id", name).
-			AddLeaf("status", v.State.String()).
+			AddLeaf("status", v.State().String()).
 			AddLeaf("cpu", strconv.FormatFloat(v.Spec.CPU, 'f', -1, 64)).
 			AddLeaf("mem", strconv.Itoa(v.Spec.Mem))
 		if rec := a.records[name]; rec != nil {

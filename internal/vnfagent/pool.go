@@ -83,6 +83,11 @@ func isRPCError(err error) bool {
 	return errors.As(err, &re)
 }
 
+// IsRPCError is the exported form of isRPCError: callers use it to tell
+// an application-level refusal from a healthy agent (rpc-error) apart
+// from a broken transport or failed dial (unreachable agent).
+func IsRPCError(err error) bool { return isRPCError(err) }
+
 // Close closes every idle session and marks the pool closed; borrowed
 // sessions are closed as they are returned.
 func (p *Pool) Close() {
