@@ -1,5 +1,5 @@
 // Package escape's root benchmarks regenerate every experiment of
-// EXPERIMENTS.md (one benchmark per table/figure, E1–E11). Run with:
+// EXPERIMENTS.md (one benchmark per table/figure, E1–E12). Run with:
 //
 //	go test -bench=. -benchmem
 //
@@ -179,5 +179,19 @@ func BenchmarkE11SelfHealing(b *testing.B) {
 		}
 		tbl.Render(tableOut())
 		b.ReportMetric(lastFloat(tbl, 4), "heal-p50-ms@link-hier")
+	}
+}
+
+// BenchmarkE12Admission measures the admission hot path on fat-tree
+// views, ablating the serialized/legacy pipeline vs optimistic
+// copy-on-write admission and cold vs cached path routing.
+func BenchmarkE12Admission(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.E12Admission([]int{4, 8}, []int{16}, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tbl.Render(tableOut())
+		b.ReportMetric(lastFloat(tbl, 6), "adm/s@8k-opt-cached")
 	}
 }

@@ -1,5 +1,5 @@
 // Command escape-bench regenerates the evaluation tables of
-// EXPERIMENTS.md (E1–E11): workload generation, parameter sweeps,
+// EXPERIMENTS.md (E1–E12): workload generation, parameter sweeps,
 // baselines and result tables in one binary.
 //
 // Usage:
@@ -11,13 +11,17 @@
 //	escape-bench -e e9 -e9conc 4,8,16 -e9chain 3
 //	escape-bench -e e10 -e10domains 4 -e10chain 3
 //	escape-bench -e e11 -e11kills 1,2 -e11chain 4
+//	escape-bench -e e12 -e12k 8,12 -e12conc 16,64
 //	escape-bench -quick          # reduced parameters (CI-friendly)
+//	escape-bench -e e12 -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -57,8 +61,25 @@ func main() {
 	e10chain := flag.Int("e10chain", 3, "E10 chain length (NFs per service)")
 	e11kills := flag.String("e11kills", "", "override E11 EE kill counts, comma-separated")
 	e11chain := flag.Int("e11chain", 3, "E11 chain length (NFs per service)")
+	e12k := flag.String("e12k", "", "override E12 fat-tree sizes (even k), comma-separated")
+	e12conc := flag.String("e12conc", "", "override E12 admission concurrencies, comma-separated")
+	e12chain := flag.Int("e12chain", 3, "E12 chain length (NFs per service)")
 	quick := flag.Bool("quick", false, "reduced parameter sets")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile taken after the selected experiments to this file")
 	flag.Parse()
+
+	// Profiles cover the selected experiment runs (started here, written
+	// after the run loop; a fatal error exits without them).
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+	}
 
 	e6drivers, err := parseE6Drivers(*e6drv)
 	if err != nil {
@@ -67,7 +88,7 @@ func main() {
 
 	selected := map[string]bool{}
 	if *which == "all" {
-		for i := 1; i <= 11; i++ {
+		for i := 1; i <= 12; i++ {
 			selected[fmt.Sprintf("e%d", i)] = true
 		}
 	} else {
@@ -86,6 +107,8 @@ func main() {
 	e10conc := 4
 	e11 := []int{1, 2}
 	e11conc := 4
+	e12ks := []int{4, 8, 12}
+	e12concs := []int{1, 16, 64}
 	if *quick {
 		e3sizes = []int{10, 50}
 		e4 = [3]int{8, 2, 10}
@@ -97,6 +120,8 @@ func main() {
 		e10conc = 2
 		e11 = []int{1}
 		e11conc = 2
+		e12ks = []int{4}
+		e12concs = []int{8}
 	}
 	parseInts := func(flagName, s string) []int {
 		var out []int
@@ -117,6 +142,12 @@ func main() {
 	}
 	if *e11kills != "" {
 		e11 = parseInts("-e11kills", *e11kills)
+	}
+	if *e12k != "" {
+		e12ks = parseInts("-e12k", *e12k)
+	}
+	if *e12conc != "" {
+		e12concs = parseInts("-e12conc", *e12conc)
 	}
 
 	type exp struct {
@@ -141,6 +172,9 @@ func main() {
 		{"e11", func() (*experiments.Table, error) {
 			return experiments.E11SelfHealing(e11, *e11chain, e11conc)
 		}},
+		{"e12", func() (*experiments.Table, error) {
+			return experiments.E12Admission(e12ks, e12concs, *e12chain)
+		}},
 	}
 	ran := 0
 	for _, e := range all {
@@ -153,6 +187,20 @@ func main() {
 		}
 		tbl.Render(os.Stdout)
 		ran++
+	}
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC() // materialize final live-heap numbers
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
 	}
 	if ran == 0 {
 		fatal(fmt.Errorf("no experiments selected (-e %s)", *which))

@@ -36,7 +36,7 @@ func (cm *ConsolidationMapper) Map(g *sg.Graph, rv *core.ResourceView) (*core.Ma
 	caps := rv.Snapshot()
 	order := rv.EENames()
 	sort.Slice(order, func(i, j int) bool {
-		return caps.CPUFree[order[i]] > caps.CPUFree[order[j]]
+		return caps.FreeCPU(order[i]) > caps.FreeCPU(order[j])
 	})
 	placements := map[string]string{}
 	mapping := &core.Mapping{Graph: g, Catalog: cm.Catalog}

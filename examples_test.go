@@ -82,3 +82,38 @@ func TestQuickstartEndToEnd(t *testing.T) {
 		}
 	}
 }
+
+// TestScaleExampleEndToEnd runs the scale example (small parameters):
+// high-concurrency optimistic admission on a fat-tree view, throughput
+// against the serialized baseline, exact view restore.
+func TestScaleExampleEndToEnd(t *testing.T) {
+	gobin := goTool(t)
+	cmd := exec.Command(gobin, "run", "./examples/scale", "-k", "4", "-conc", "8", "-n", "64")
+	done := make(chan struct{})
+	var out []byte
+	var err error
+	go func() {
+		out, err = cmd.CombinedOutput()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(3 * time.Minute):
+		_ = cmd.Process.Kill()
+		<-done
+		t.Fatalf("scale example did not finish in time\n%s", out)
+	}
+	if err != nil {
+		t.Fatalf("scale example failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"serialized baseline:",
+		"optimistic+cached:",
+		"admission stats:",
+		"view restored exactly after release",
+	} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("scale output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"escape/internal/sg"
+)
+
+// AdmissionMode selects how AdmitAndCommit orders concurrent admissions.
+type AdmissionMode int32
+
+const (
+	// AdmitOptimistic (the default) runs mappers lock-free against a
+	// pinned epoch of the view, then validates and commits only the
+	// resources the mapping touches; a validation conflict re-maps on
+	// fresher state. Concurrent deploys that don't contend for the same
+	// capacity never serialize.
+	AdmitOptimistic AdmissionMode = iota
+	// AdmitSerialized is the classic global critical section: map +
+	// commit under one mutex. The E12 baseline.
+	AdmitSerialized
+)
+
+// admitOptimisticRetries bounds lock-free re-mapping before an admitter
+// falls back to the serialization mutex (it still validates there:
+// optimistic winners don't hold that mutex).
+const admitOptimisticRetries = 8
+
+// admitFallbackRetries bounds validation retries under the mutex. A
+// conflict usually means another admission committed, but exclusion-mask
+// transitions also invalidate in-flight mappings without anyone
+// admitting, so an unbounded loop could livelock under pathological
+// mask churn; exhausting this budget is reported as an admission error.
+const admitFallbackRetries = 64
+
+// admissionCounters aggregates admission-protocol telemetry.
+type admissionCounters struct {
+	admitted  atomic.Uint64
+	conflicts atomic.Uint64
+	fallbacks atomic.Uint64
+}
+
+// AdmissionStats is a snapshot of the admission telemetry: Admitted
+// successful admissions (deploy + heal), Conflicts validation failures
+// that forced a re-map, SerializedFallbacks admitters that exhausted
+// their optimistic retry budget.
+type AdmissionStats struct {
+	Admitted            uint64
+	Conflicts           uint64
+	SerializedFallbacks uint64
+}
+
+// AdmissionStats reports the protocol counters since the view was built.
+func (rv *ResourceView) AdmissionStats() AdmissionStats {
+	return AdmissionStats{
+		Admitted:            rv.stats.admitted.Load(),
+		Conflicts:           rv.stats.conflicts.Load(),
+		SerializedFallbacks: rv.stats.fallbacks.Load(),
+	}
+}
+
+// SetAdmissionMode switches the admission protocol (E12 ablates
+// serialized against optimistic).
+func (rv *ResourceView) SetAdmissionMode(m AdmissionMode) { rv.mode.Store(int32(m)) }
+
+// GetAdmissionMode reports the active admission protocol.
+func (rv *ResourceView) GetAdmissionMode() AdmissionMode {
+	return AdmissionMode(rv.mode.Load())
+}
+
+// AdmitAndCommit runs one admission cycle — map the graph, then commit
+// the mapping — such that a successful return means the committed
+// resources were actually free: parallel Deploys can never oversubscribe
+// the view. Mapping failures commit nothing.
+//
+// In AdmitOptimistic mode (default) the mapper runs lock-free against a
+// pinned epoch; validate-and-commit then re-checks, under the view's
+// short write lock, only the EEs and links the mapping touches — against
+// the current epoch, including exclusion masks that landed after the
+// snapshot. On conflict the admission re-maps on fresher state, and
+// after admitOptimisticRetries conflicts it serializes with the other
+// fallen-back admitters. In AdmitSerialized mode the whole cycle holds
+// one global mutex (the pre-E12 behavior, kept as the measurable
+// baseline).
+func (rv *ResourceView) AdmitAndCommit(m Mapper, g *sg.Graph) (*Mapping, error) {
+	if rv.GetAdmissionMode() == AdmitSerialized {
+		// The critical section orders serialized admitters, but
+		// optimistic heals (AdmitHeal) validate under rv.mu only, so
+		// even here the commit must be validated — an unconditional
+		// Commit could land on top of a heal that moved placements
+		// after this admitter's snapshot.
+		rv.admitMu.Lock()
+		defer rv.admitMu.Unlock()
+		return rv.mapValidateCommit(m, g)
+	}
+	for attempt := 0; attempt < admitOptimisticRetries; attempt++ {
+		mapping, err := m.Map(g, rv)
+		if err != nil {
+			return nil, err
+		}
+		if rv.tryCommit(mapping) {
+			rv.stats.admitted.Add(1)
+			return mapping, nil
+		}
+		rv.stats.conflicts.Add(1)
+	}
+	// Pathological contention: serialize with the other fallen-back
+	// admitters (still validated — optimistic winners commit without
+	// admitMu).
+	rv.stats.fallbacks.Add(1)
+	rv.admitMu.Lock()
+	defer rv.admitMu.Unlock()
+	return rv.mapValidateCommit(m, g)
+}
+
+// mapValidateCommit runs bounded map → validate → commit rounds under
+// admitMu (held by the caller).
+func (rv *ResourceView) mapValidateCommit(m Mapper, g *sg.Graph) (*Mapping, error) {
+	for attempt := 0; attempt < admitFallbackRetries; attempt++ {
+		mapping, err := m.Map(g, rv)
+		if err != nil {
+			return nil, err
+		}
+		if rv.tryCommit(mapping) {
+			rv.stats.admitted.Add(1)
+			return mapping, nil
+		}
+		rv.stats.conflicts.Add(1)
+	}
+	return nil, fmt.Errorf("core: admitting %q: %d consecutive validation conflicts (extreme contention or mask churn)",
+		g.Name, admitFallbackRetries)
+}
+
+// tryCommit validates a mapping against the current epoch — only the
+// resources it touches — and publishes the commit if everything still
+// fits. The float tolerance mirrors the conformance suite's.
+func (rv *ResourceView) tryCommit(m *Mapping) bool {
+	rv.buildTopoIndex()
+	rv.mu.Lock()
+	defer rv.mu.Unlock()
+	cur := rv.state.Load()
+
+	cpuAdd := map[string]float64{}
+	memAdd := map[string]int{}
+	for nfID, ee := range m.Placements {
+		cpu, mem := m.nfDemand(m.Graph.NF(nfID))
+		cpuAdd[ee] += cpu
+		memAdd[ee] += mem
+	}
+	bwAdd := map[linkKey]float64{}
+	linksUsed := map[linkKey]bool{}
+	for linkID, route := range m.Routes {
+		l := m.Graph.Link(linkID)
+		if l == nil {
+			continue
+		}
+		bw := m.linkDemand(l)
+		for i := 0; i+1 < len(route); i++ {
+			k := mkLinkKey(route[i], route[i+1])
+			linksUsed[k] = true
+			if bw > 0 {
+				if lr := rv.linkBetween(route[i], route[i+1]); lr != nil && lr.Bandwidth > 0 {
+					bwAdd[k] += bw
+				}
+			}
+		}
+	}
+
+	for ee, add := range cpuAdd {
+		res := rv.EEs[ee]
+		if res == nil || cur.excludedEE(ee) {
+			return false
+		}
+		if cur.cpu(ee)+add > res.CPU+1e-9 || cur.mem(ee)+memAdd[ee] > res.Mem {
+			return false
+		}
+	}
+	for k := range linksUsed {
+		if cur.excludedLink(k) {
+			return false
+		}
+		if rv.linkIdx[k] == nil {
+			return false
+		}
+	}
+	for k, add := range bwAdd {
+		if cur.bw(k)+add > rv.linkIdx[k].Bandwidth+1e-9 {
+			return false
+		}
+	}
+
+	rv.publish(func(mu *mutation) { applyMapping(mu, m, 1) })
+	return true
+}

@@ -120,10 +120,25 @@ func confScenarios() []confScenario {
 	}
 }
 
-// capsSnapshot extracts the comparable part of a Capacities snapshot.
+// capsSnapshot materializes the comparable part of a Capacities
+// snapshot (the copy-on-write view resolves lazily, so tests walk the
+// full topology to get DeepEqual-able maps).
 func capsSnapshot(rv *ResourceView) (map[string]float64, map[string]int, map[linkKey]float64) {
 	c := rv.Snapshot()
-	return c.CPUFree, c.MemFree, c.BWFree
+	cpu := map[string]float64{}
+	mem := map[string]int{}
+	for name := range rv.EEs {
+		cpu[name] = c.FreeCPU(name)
+		mem[name] = c.FreeMem(name)
+	}
+	bw := map[linkKey]float64{}
+	for _, l := range rv.Links {
+		if l.Bandwidth > 0 {
+			k := mkLinkKey(l.A, l.B)
+			bw[k] = c.freeBW(k, l.Bandwidth)
+		}
+	}
+	return cpu, mem, bw
 }
 
 // checkNoOversubscription verifies EE and link budgets against raw
@@ -202,13 +217,21 @@ func TestMapperConformance(t *testing.T) {
 				checkNoOversubscription(t, mapping, rv)
 
 				// Commit must actually reserve, Release must restore the
-				// exact pre-commit snapshot.
+				// exact pre-commit snapshot. Each is one epoch of the
+				// versioned view: the state restores, the history doesn't.
+				ep0 := rv.Epoch()
 				rv.Commit(mapping)
+				if rv.Epoch() != ep0+1 {
+					t.Errorf("Commit published %d epochs, want 1", rv.Epoch()-ep0)
+				}
 				cpu2, _, _ := capsSnapshot(rv)
 				if len(mapping.Placements) > 0 && reflect.DeepEqual(cpu0, cpu2) {
 					t.Errorf("Commit reserved nothing")
 				}
 				rv.Release(mapping)
+				if rv.Epoch() != ep0+2 {
+					t.Errorf("Release published %d epochs, want 1", rv.Epoch()-ep0-1)
+				}
 				cpu3, mem3, bw3 := capsSnapshot(rv)
 				if !reflect.DeepEqual(cpu0, cpu3) || !reflect.DeepEqual(mem0, mem3) || !reflect.DeepEqual(bw0, bw3) {
 					t.Errorf("Commit+Release did not restore the capacity snapshot:\n cpu %v → %v\n mem %v → %v\n bw %v → %v",

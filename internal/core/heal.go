@@ -29,20 +29,60 @@ func (p *HealPlan) Empty() bool {
 	return len(p.Moved) == 0 && len(p.Routes) == 0
 }
 
-// AdmitHeal computes and commits a healing delta for one mapping as a
-// single critical section over the view (the healing mirror of
-// AdmitAndCommit): NFs on EEs for which eeDown reports true are
-// re-placed onto surviving EEs, and SG links whose routes cross a link
-// for which linkDown reports true — or whose endpoints moved — are
-// re-routed. On success the view's committed state reflects the new
-// mapping atomically (old placements released, new ones committed); on
-// error nothing changed. The failed EEs/links themselves are additionally
-// masked for the placement search even when the caller has not excluded
-// them view-wide.
+// AdmitHeal computes and commits a healing delta for one mapping under
+// the same optimistic protocol as AdmitAndCommit: NFs on EEs for which
+// eeDown reports true are re-placed onto surviving EEs, and SG links
+// whose routes cross a link for which linkDown reports true — or whose
+// endpoints moved — are re-routed. The plan is computed lock-free
+// against a pinned epoch; validate-and-commit then re-checks, under the
+// view's short write lock, only the resources the delta touches, and a
+// conflict re-plans on fresher state. On success the view's committed
+// state reflects the new mapping atomically in one published epoch (old
+// placements released, new ones committed); on error nothing changed.
+// The failed EEs/links themselves are additionally masked view-locally
+// for the placement search even when the caller has not excluded them
+// view-wide.
 func (rv *ResourceView) AdmitHeal(m *Mapping, eeDown func(string) bool, linkDown func(a, b string) bool) (*HealPlan, error) {
+	for attempt := 0; attempt < admitOptimisticRetries; attempt++ {
+		plan, err := rv.planHeal(m, eeDown, linkDown)
+		if err != nil {
+			return nil, err
+		}
+		if plan.Empty() {
+			return plan, nil
+		}
+		if rv.tryCommitHeal(m, plan) {
+			rv.stats.admitted.Add(1)
+			return plan, nil
+		}
+		rv.stats.conflicts.Add(1)
+	}
+	// Contention fallback, as in AdmitAndCommit: serialize with other
+	// fallen-back admitters but keep validating, with a bounded budget
+	// (mask churn can conflict a plan without anyone admitting).
+	rv.stats.fallbacks.Add(1)
 	rv.admitMu.Lock()
 	defer rv.admitMu.Unlock()
+	for attempt := 0; attempt < admitFallbackRetries; attempt++ {
+		plan, err := rv.planHeal(m, eeDown, linkDown)
+		if err != nil {
+			return nil, err
+		}
+		if plan.Empty() {
+			return plan, nil
+		}
+		if rv.tryCommitHeal(m, plan) {
+			rv.stats.admitted.Add(1)
+			return plan, nil
+		}
+		rv.stats.conflicts.Add(1)
+	}
+	return nil, fmt.Errorf("core: healing %q: %d consecutive validation conflicts (extreme contention or mask churn)",
+		m.Graph.Name, admitFallbackRetries)
+}
 
+// planHeal computes the healing delta lock-free against a pinned epoch.
+func (rv *ResourceView) planHeal(m *Mapping, eeDown func(string) bool, linkDown func(a, b string) bool) (*HealPlan, error) {
 	plan := &HealPlan{
 		Moved:     map[string]string{},
 		OldEE:     map[string]string{},
@@ -77,14 +117,14 @@ func (rv *ResourceView) AdmitHeal(m *Mapping, eeDown func(string) bool, linkDown
 	}
 
 	caps := rv.Snapshot()
-	for ee := range caps.CPUFree {
+	for _, ee := range rv.EENames() {
 		if eeDown(ee) {
-			caps.exclEE[ee] = true
+			caps.ExcludeEE(ee)
 		}
 	}
 	for _, l := range rv.Links {
 		if linkDown(l.A, l.B) {
-			caps.exclLk[mkLinkKey(l.A, l.B)] = true
+			caps.ExcludeLink(l.A, l.B)
 		}
 	}
 	// Virtually release what the delta abandons, so healing can reuse the
@@ -92,14 +132,7 @@ func (rv *ResourceView) AdmitHeal(m *Mapping, eeDown func(string) bool, linkDown
 	// masked anyway and not added back).
 	for linkID := range reroute {
 		bw := m.linkDemand(m.Graph.Link(linkID))
-		if bw > 0 {
-			for i, route := 0, m.Routes[linkID]; i+1 < len(route); i++ {
-				k := mkLinkKey(route[i], route[i+1])
-				if _, capped := caps.BWFree[k]; capped {
-					caps.BWFree[k] += bw
-				}
-			}
-		}
+		caps.creditPath(m.Routes[linkID], bw)
 	}
 
 	// Re-place moved NFs: deterministic first fit over surviving EEs.
@@ -172,31 +205,104 @@ func (rv *ResourceView) AdmitHeal(m *Mapping, eeDown func(string) bool, linkDown
 		plan.OldRoutes[linkID] = m.Routes[linkID]
 	}
 
-	// Commit the delta: release abandoned placements/routes, reserve the
-	// replacements — one mutation under the view lock.
+	return plan, nil
+}
+
+// tryCommitHeal validates a healing delta against the current epoch and
+// publishes it if every touched resource still fits: releases of the
+// abandoned placements/routes and reservations of their replacements
+// land as one epoch. A target EE that got masked, or capacity consumed
+// by a concurrent admission, fails validation and forces a re-plan.
+func (rv *ResourceView) tryCommitHeal(m *Mapping, plan *HealPlan) bool {
+	rv.buildTopoIndex()
 	rv.mu.Lock()
 	defer rv.mu.Unlock()
+	cur := rv.state.Load()
+
+	// Net compute deltas: -old EE, +new EE per moved NF.
+	cpuDelta := map[string]float64{}
+	memDelta := map[string]int{}
 	for nfID, newEE := range plan.Moved {
-		nf := m.Graph.NF(nfID)
-		cpu, mem := m.nfDemand(nf)
-		rv.resCPU[plan.OldEE[nfID]] -= cpu
-		rv.resMem[plan.OldEE[nfID]] -= mem
-		rv.resCPU[newEE] += cpu
-		rv.resMem[newEE] += mem
+		cpu, mem := m.nfDemand(m.Graph.NF(nfID))
+		cpuDelta[plan.OldEE[nfID]] -= cpu
+		memDelta[plan.OldEE[nfID]] -= mem
+		cpuDelta[newEE] += cpu
+		memDelta[newEE] += mem
+		res := rv.EEs[newEE]
+		if res == nil || cur.excludedEE(newEE) {
+			return false
+		}
 	}
+	// Net bandwidth deltas: -old routes, +new routes per re-routed link.
+	bwDelta := map[linkKey]float64{}
+	newLinks := map[linkKey]bool{}
 	for linkID, newRoute := range plan.Routes {
 		bw := m.linkDemand(m.Graph.Link(linkID))
-		if bw <= 0 {
-			continue
-		}
-		for i, route := 0, plan.OldRoutes[linkID]; i+1 < len(route); i++ {
-			rv.resBW[mkLinkKey(route[i], route[i+1])] -= bw
-		}
 		for i := 0; i+1 < len(newRoute); i++ {
-			rv.resBW[mkLinkKey(newRoute[i], newRoute[i+1])] += bw
+			k := mkLinkKey(newRoute[i], newRoute[i+1])
+			newLinks[k] = true
+			if bw > 0 && rv.linkIdx[k] != nil && rv.linkIdx[k].Bandwidth > 0 {
+				bwDelta[k] += bw
+			}
+		}
+		if bw > 0 {
+			for i, route := 0, plan.OldRoutes[linkID]; i+1 < len(route); i++ {
+				k := mkLinkKey(route[i], route[i+1])
+				if rv.linkIdx[k] != nil && rv.linkIdx[k].Bandwidth > 0 {
+					bwDelta[k] -= bw
+				}
+			}
 		}
 	}
-	return plan, nil
+
+	for ee, d := range cpuDelta {
+		if d <= 0 && memDelta[ee] <= 0 {
+			continue // pure release always fits
+		}
+		res := rv.EEs[ee]
+		if res == nil {
+			return false
+		}
+		if cur.cpu(ee)+d > res.CPU+1e-9 || cur.mem(ee)+memDelta[ee] > res.Mem {
+			return false
+		}
+	}
+	for k := range newLinks {
+		if cur.excludedLink(k) || rv.linkIdx[k] == nil {
+			return false
+		}
+	}
+	for k, d := range bwDelta {
+		if d <= 0 {
+			continue
+		}
+		if cur.bw(k)+d > rv.linkIdx[k].Bandwidth+1e-9 {
+			return false
+		}
+	}
+
+	rv.publish(func(mu *mutation) {
+		for nfID, newEE := range plan.Moved {
+			cpu, mem := m.nfDemand(m.Graph.NF(nfID))
+			mu.addCPU(plan.OldEE[nfID], -cpu)
+			mu.addMem(plan.OldEE[nfID], -mem)
+			mu.addCPU(newEE, cpu)
+			mu.addMem(newEE, mem)
+		}
+		for linkID, newRoute := range plan.Routes {
+			bw := m.linkDemand(m.Graph.Link(linkID))
+			if bw <= 0 {
+				continue
+			}
+			for i, route := 0, plan.OldRoutes[linkID]; i+1 < len(route); i++ {
+				mu.addBW(mkLinkKey(route[i], route[i+1]), -bw)
+			}
+			for i := 0; i+1 < len(newRoute); i++ {
+				mu.addBW(mkLinkKey(newRoute[i], newRoute[i+1]), bw)
+			}
+		}
+	})
+	return true
 }
 
 // HealReport summarizes one completed healing transaction.

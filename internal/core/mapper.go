@@ -39,9 +39,16 @@ func (m *Mapping) linkDemand(l *sg.Link) float64 {
 // nfDemand resolves an NF's CPU/mem demand (SG override or catalog
 // default).
 func (m *Mapping) nfDemand(nf *sg.NF) (float64, int) {
+	return nfDemandWith(m.Catalog, nf)
+}
+
+// nfDemandWith is the one defaulting rule for NF resource demands,
+// shared by mapping-time placement and commit/release accounting so the
+// two can never diverge.
+func nfDemandWith(cat *catalog.Catalog, nf *sg.NF) (float64, int) {
 	cpu, mem := nf.CPU, nf.Mem
-	if m.Catalog != nil {
-		if t, err := m.Catalog.Lookup(nf.Type); err == nil {
+	if cat != nil {
+		if t, err := cat.Lookup(nf.Type); err == nil {
 			if cpu == 0 {
 				cpu = t.DefaultCPU
 			}
@@ -64,7 +71,11 @@ func (m *Mapping) TotalHops() int {
 }
 
 // Mapper maps service graphs onto the resource view. Implementations must
-// not mutate rv; they work on Snapshot() capacities.
+// not mutate rv; they work on Snapshot() capacities — an O(1)
+// copy-on-write view pinned to the epoch of the moment, so Map can run
+// lock-free while concurrent admissions commit. Map sees a consistent
+// (possibly slightly stale) world; AdmitAndCommit validates the result
+// against the live epoch before committing it.
 type Mapper interface {
 	// MapperName identifies the algorithm ("greedy", "backtrack", …).
 	MapperName() string
@@ -85,6 +96,20 @@ type mapContext struct {
 	// reqChains pairs each sub-graph requirement with the chains it
 	// governs (for post-routing delay checks).
 	reqChains []reqChain
+	// chains memoizes g.Chains() — computed once per admission, shared
+	// by requirement matching, chain-aware placement and NF ordering.
+	chains    []*sg.Chain
+	chainsErr error
+	chainsSet bool
+}
+
+// chainList returns the graph's chains, computed once.
+func (mc *mapContext) chainList() ([]*sg.Chain, error) {
+	if !mc.chainsSet {
+		mc.chains, mc.chainsErr = mc.g.Chains()
+		mc.chainsSet = true
+	}
+	return mc.chains, mc.chainsErr
 }
 
 type reqChain struct {
@@ -109,7 +134,7 @@ func newMapContext(g *sg.Graph, rv *ResourceView, cat *catalog.Catalog) (*mapCon
 		mc.demands[l.ID] = l.Bandwidth
 	}
 	if len(g.Reqs) > 0 {
-		chains, err := g.Chains()
+		chains, err := mc.chainList()
 		if err != nil {
 			return nil, err
 		}
@@ -167,8 +192,7 @@ func (mc *mapContext) checkE2E(routes map[string][]string) error {
 }
 
 func (mc *mapContext) demand(nf *sg.NF) (float64, int) {
-	m := &Mapping{Graph: mc.g, Catalog: mc.cat}
-	return m.nfDemand(nf)
+	return nfDemandWith(mc.cat, nf)
 }
 
 // attachSwitch resolves the switch a node (SAP or placed NF) attaches to.
@@ -220,7 +244,7 @@ func (mc *mapContext) routeLinks(placements map[string]string, caps *Capacities)
 func (mc *mapContext) nfsInChainOrder() []*sg.NF {
 	seen := map[string]bool{}
 	var out []*sg.NF
-	chains, err := mc.g.Chains()
+	chains, err := mc.chainList()
 	if err == nil {
 		for _, c := range chains {
 			for _, node := range c.Nodes {

@@ -156,6 +156,9 @@ func (bm *BacktrackMapper) Map(g *sg.Graph, rv *ResourceView) (*Mapping, error) 
 		expansions++
 		if idx == len(nfs) {
 			// Complete assignment: route on a fork of the capacities.
+			// Clone is O(touched) copy-on-write — it copies only this
+			// branch's own reservations, not the whole network — so
+			// forking inside the exponential search loop is cheap.
 			routeCaps := caps.Clone()
 			routes, err := mc.routeLinks(placements, routeCaps)
 			if err != nil {
@@ -215,7 +218,7 @@ func (km *KSPMapper) Map(g *sg.Graph, rv *ResourceView) (*Mapping, error) {
 	if err != nil {
 		return nil, err
 	}
-	chains, err := g.Chains()
+	chains, err := mc.chainList()
 	if err != nil {
 		return nil, err
 	}
@@ -229,7 +232,7 @@ func (km *KSPMapper) Map(g *sg.Graph, rv *ResourceView) (*Mapping, error) {
 		if srcSAP == nil || dstSAP == nil {
 			return nil, fmt.Errorf("core: ksp: chain %s has unbound SAPs", chain)
 		}
-		distToDst := rv.HopDistances(dstSAP.Switch)
+		distToDst := rv.hopDistancesShared(dstSAP.Switch)
 		prevSwitch := srcSAP.Switch
 		for _, node := range chain.Nodes[1 : len(chain.Nodes)-1] {
 			nf := g.NF(node)
@@ -241,7 +244,7 @@ func (km *KSPMapper) Map(g *sg.Graph, rv *ResourceView) (*Mapping, error) {
 				continue
 			}
 			cpu, mem := mc.demand(nf)
-			distFromPrev := rv.HopDistances(prevSwitch)
+			distFromPrev := rv.hopDistancesShared(prevSwitch)
 			bestEE := ""
 			bestScore := int(^uint(0) >> 1)
 			for _, ee := range rv.EENames() {

@@ -227,8 +227,10 @@ func (o *Orchestrator) unregister(svc *Service) {
 // Deploy maps and realizes a service graph: the on-demand service
 // creation workflow of the demo (step 3 of the paper's walkthrough),
 // driven through the lifecycle state machine. Deploys of different
-// services run concurrently: admission is atomic over the resource view,
-// realization fans out across EEs, and steering lands as one batch.
+// services run concurrently: admission is optimistic over the versioned
+// resource view (mapping runs lock-free, validate-and-commit retries on
+// conflict — non-contending deploys never serialize), realization fans
+// out across EEs, and steering lands as one batch.
 func (o *Orchestrator) Deploy(g *sg.Graph) (*Service, error) {
 	svc, err := o.reserve(g)
 	if err != nil {
@@ -242,7 +244,7 @@ func (o *Orchestrator) Deploy(g *sg.Graph) (*Service, error) {
 		return nil, err
 	}
 
-	// Phase 1: atomic admission (map + commit in one critical section).
+	// Phase 1: admission (optimistic map + validate-and-commit).
 	t0 := time.Now()
 	mapping, err := o.cfg.View.AdmitAndCommit(o.Mapper(), g)
 	if err != nil {

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// The cached path engine suite: cached lookups must be hop-equivalent to
+// the live BFS, survive bandwidth pressure by falling through candidates,
+// and invalidate exactly on link fail/heal transitions.
+
+func TestCachedRoutesHopEquivalentToBFS(t *testing.T) {
+	cached := ringView(10, 1, 1024, 1e6)
+	cold := ringView(10, 1, 1024, 1e6)
+	cold.DisablePathCache()
+
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 10; j++ {
+			if i == j {
+				continue
+			}
+			a, b := ringName(i), ringName(j)
+			rc := cached.Snapshot().ShortestFeasiblePath(a, b, 1000, 0)
+			rb := cold.Snapshot().ShortestFeasiblePath(a, b, 1000, 0)
+			if (rc == nil) != (rb == nil) {
+				t.Fatalf("%s→%s: cached=%v cold=%v", a, b, rc, rb)
+			}
+			if rc != nil && len(rc) != len(rb) {
+				t.Errorf("%s→%s: cached %d hops (%v), cold %d hops (%v)", a, b, len(rc)-1, rc, len(rb)-1, rb)
+			}
+			if rc != nil && (rc[0] != a || rc[len(rc)-1] != b) {
+				t.Errorf("%s→%s: cached route endpoints wrong: %v", a, b, rc)
+			}
+		}
+	}
+	if st := cached.PathCacheStats(); st.Hits == 0 {
+		t.Errorf("no cache hits recorded: %+v", st)
+	}
+	if st := cold.PathCacheStats(); st != (PathCacheStats{}) {
+		t.Errorf("disabled cache recorded activity: %+v", st)
+	}
+}
+
+func TestPathCacheFallsThroughCandidatesUnderPressure(t *testing.T) {
+	rv := ringView(6, 1, 1024, 1e6)
+	caps := rv.Snapshot()
+	short := caps.ShortestFeasiblePath(ringName(0), ringName(2), 1000, 0)
+	if len(short) != 3 {
+		t.Fatalf("expected the 2-hop route, got %v", short)
+	}
+	// Saturate the short way: the next lookup must take the detour.
+	caps.takePath(short, 1e6)
+	detour := caps.ShortestFeasiblePath(ringName(0), ringName(2), 1000, 0)
+	if len(detour) != 5 {
+		t.Fatalf("expected the 4-hop detour, got %v", detour)
+	}
+	// Saturate the detour too: no feasible route remains.
+	caps.takePath(detour, 1e6)
+	if r := caps.ShortestFeasiblePath(ringName(0), ringName(2), 1000, 0); r != nil {
+		t.Fatalf("expected no route, got %v", r)
+	}
+}
+
+func TestPathCacheInvalidationOnFailAndHeal(t *testing.T) {
+	rv := ringView(6, 1, 1024, 0)
+	a, b := ringName(0), ringName(2)
+
+	if r := rv.Snapshot().ShortestFeasiblePath(a, b, 0, 0); len(r) != 3 {
+		t.Fatalf("pre-failure route %v, want 2 hops", r)
+	}
+
+	// Fail a link on the short way: the entry crossing it must drop and
+	// fresh candidates must route around the failure.
+	rv.ExcludeLink(ringName(1), ringName(2))
+	if st := rv.PathCacheStats(); st.Invalidated == 0 {
+		t.Errorf("link failure invalidated nothing: %+v", st)
+	}
+	if r := rv.Snapshot().ShortestFeasiblePath(a, b, 0, 0); len(r) != 5 {
+		t.Fatalf("post-failure route %v, want the 4-hop detour", r)
+	}
+
+	// Heal it: entries computed around the failure must drop so the
+	// short path comes back.
+	rv.UnexcludeLink(ringName(1), ringName(2))
+	if r := rv.Snapshot().ShortestFeasiblePath(a, b, 0, 0); len(r) != 3 {
+		t.Fatalf("post-heal route %v, want 2 hops again", r)
+	}
+}
+
+// TestPathCacheDeterministic re-runs the same query matrix on a fresh
+// identical view and demands identical routes (the conformance suite's
+// determinism contract extends to the path engine).
+func TestPathCacheDeterministic(t *testing.T) {
+	run := func() map[string][]string {
+		rv := ringView(8, 1, 1024, 0)
+		out := map[string][]string{}
+		caps := rv.Snapshot()
+		for i := 0; i < 8; i++ {
+			for j := i + 1; j < 8; j++ {
+				out[fmt.Sprintf("%d-%d", i, j)] = caps.ShortestFeasiblePath(ringName(i), ringName(j), 0, 0)
+			}
+		}
+		return out
+	}
+	if a, b := run(), run(); !reflect.DeepEqual(a, b) {
+		t.Errorf("cached routing not deterministic:\n%v\nvs\n%v", a, b)
+	}
+}

@@ -13,10 +13,10 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"escape/internal/netem"
-	"escape/internal/sg"
 )
 
 // EERes describes one VNF container in the resource view.
@@ -47,31 +47,53 @@ type LinkRes struct {
 }
 
 // ResourceView is the orchestrator's global network+compute view.
+//
+// Topology (Switches, EEs, SAPs, Links) is immutable once mapping
+// starts; substrate failures mask resources out of the view rather
+// than removing them. Committed accounting is versioned copy-on-write:
+// every mutation (Commit, Release, mask transition, heal delta)
+// publishes a new immutable epoch consisting of the previous epoch plus
+// an O(touched) delta, so Snapshot is O(1), mappers run lock-free
+// against a pinned epoch, and concurrent admissions validate and commit
+// only the resources their mapping touches (see AdmitAndCommit).
 type ResourceView struct {
 	Switches map[string]uint64 // name → dpid
 	EEs      map[string]*EERes
 	SAPs     map[string]*SAPRes
 	Links    []*LinkRes
 
-	mu     sync.Mutex
-	resCPU map[string]float64 // committed CPU per EE
-	resMem map[string]int
-	resBW  map[linkKey]float64
+	// mu serializes version publication (single-writer ordering for the
+	// copy-on-write chain). Readers never take it: they atomically load
+	// the current immutable viewState.
+	mu    sync.Mutex
+	state atomic.Pointer[viewState]
 
-	// exclEE/exclLink mask failed resources out of the view: an excluded
-	// EE admits no placements and an excluded link carries no routes
-	// (Snapshot bakes the mask into the Capacities every mapper works
-	// on), while committed bookkeeping still covers them so releases
-	// balance. The resilience layer sets the mask on failure detection
-	// and clears it on recovery.
-	exclEE   map[string]bool
-	exclLink map[linkKey]bool
-
-	// admitMu serializes map+Commit pairs (AdmitAndCommit): a mapper
-	// works on a Snapshot, so without this critical section two
-	// concurrent deploys could both map against the same free capacity
-	// and oversubscribe the view when both commit.
+	// admitMu serializes admissions in AdmitSerialized mode (the E12
+	// baseline) and acts as the contention fallback for optimistic
+	// admitters that keep losing validation.
 	admitMu sync.Mutex
+	mode    atomic.Int32
+
+	stats admissionCounters
+
+	// topoOnce builds the adjacency/link indexes on first use: the
+	// topology is frozen from the first mapping onward.
+	topoOnce sync.Once
+	adj      map[string][]string
+	linkIdx  map[linkKey]*LinkRes
+
+	// paths is the shared cached path engine (nil = disabled, every
+	// route is a live BFS).
+	paths atomic.Pointer[pathCache]
+
+	// legacy restores the pre-E12 admission cost model (see
+	// SetLegacyBaseline).
+	legacy atomic.Bool
+
+	// hopDist memoizes HopDistances per source switch (raw topology,
+	// mask-free — safe to cache forever).
+	hopMu   sync.Mutex
+	hopDist map[string]map[string]int
 }
 
 type linkKey struct{ a, b string }
@@ -83,66 +105,341 @@ func mkLinkKey(a, b string) linkKey {
 	return linkKey{a, b}
 }
 
-// NewResourceView returns an empty view; populate and call Finish, or use
-// BuildResourceView.
+// viewBase holds fully materialized committed state: the bottom of a
+// copy-on-write chain. Maps only carry touched keys (absent = zero
+// committed / unmasked). Immutable once published.
+type viewBase struct {
+	cpu      map[string]float64
+	mem      map[string]int
+	bw       map[linkKey]float64
+	exclEE   map[string]bool
+	exclLink map[linkKey]bool
+}
+
+// viewDelta is one epoch's O(touched) overlay: absolute committed
+// values (not increments) for the keys the epoch changed, so resolution
+// stops at the newest hit. Immutable once published.
+type viewDelta struct {
+	parent   *viewDelta
+	cpu      map[string]float64
+	mem      map[string]int
+	bw       map[linkKey]float64
+	exclEE   map[string]bool
+	exclLink map[linkKey]bool
+}
+
+// viewState is one immutable epoch of the view: base plus a delta chain.
+// Snapshot pins a viewState; mappers resolve committed values against it
+// without locks while newer epochs are published.
+type viewState struct {
+	epoch uint64
+	base  *viewBase
+	delta *viewDelta
+	depth int
+}
+
+// compactDepth bounds the delta chain: when an epoch would exceed it the
+// chain is folded into a fresh base (O(touched keys overall), amortized
+// O(touched/compactDepth) per commit).
+const compactDepth = 64
+
+func (s *viewState) cpu(ee string) float64 {
+	for d := s.delta; d != nil; d = d.parent {
+		if v, ok := d.cpu[ee]; ok {
+			return v
+		}
+	}
+	return s.base.cpu[ee]
+}
+
+func (s *viewState) mem(ee string) int {
+	for d := s.delta; d != nil; d = d.parent {
+		if v, ok := d.mem[ee]; ok {
+			return v
+		}
+	}
+	return s.base.mem[ee]
+}
+
+func (s *viewState) bw(k linkKey) float64 {
+	for d := s.delta; d != nil; d = d.parent {
+		if v, ok := d.bw[k]; ok {
+			return v
+		}
+	}
+	return s.base.bw[k]
+}
+
+func (s *viewState) excludedEE(ee string) bool {
+	for d := s.delta; d != nil; d = d.parent {
+		if v, ok := d.exclEE[ee]; ok {
+			return v
+		}
+	}
+	return s.base.exclEE[ee]
+}
+
+func (s *viewState) excludedLink(k linkKey) bool {
+	for d := s.delta; d != nil; d = d.parent {
+		if v, ok := d.exclLink[k]; ok {
+			return v
+		}
+	}
+	return s.base.exclLink[k]
+}
+
+// maskedLinks returns the effective link-mask set of this epoch.
+func (s *viewState) maskedLinks() map[linkKey]bool {
+	out := map[linkKey]bool{}
+	seen := map[linkKey]bool{}
+	for d := s.delta; d != nil; d = d.parent {
+		for k, v := range d.exclLink {
+			if !seen[k] {
+				seen[k] = true
+				if v {
+					out[k] = true
+				}
+			}
+		}
+	}
+	for k, v := range s.base.exclLink {
+		if !seen[k] && v {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+// compact folds the delta chain into a fresh base, dropping zero-valued
+// and unmasked entries so long-lived views don't accrete dead keys.
+func (s *viewState) compact() *viewBase {
+	var chain []*viewDelta
+	for d := s.delta; d != nil; d = d.parent {
+		chain = append(chain, d)
+	}
+	nb := &viewBase{
+		cpu:      make(map[string]float64, len(s.base.cpu)),
+		mem:      make(map[string]int, len(s.base.mem)),
+		bw:       make(map[linkKey]float64, len(s.base.bw)),
+		exclEE:   make(map[string]bool, len(s.base.exclEE)),
+		exclLink: make(map[linkKey]bool, len(s.base.exclLink)),
+	}
+	for k, v := range s.base.cpu {
+		nb.cpu[k] = v
+	}
+	for k, v := range s.base.mem {
+		nb.mem[k] = v
+	}
+	for k, v := range s.base.bw {
+		nb.bw[k] = v
+	}
+	for k, v := range s.base.exclEE {
+		nb.exclEE[k] = v
+	}
+	for k, v := range s.base.exclLink {
+		nb.exclLink[k] = v
+	}
+	for i := len(chain) - 1; i >= 0; i-- { // oldest first
+		d := chain[i]
+		for k, v := range d.cpu {
+			nb.cpu[k] = v
+		}
+		for k, v := range d.mem {
+			nb.mem[k] = v
+		}
+		for k, v := range d.bw {
+			nb.bw[k] = v
+		}
+		for k, v := range d.exclEE {
+			nb.exclEE[k] = v
+		}
+		for k, v := range d.exclLink {
+			nb.exclLink[k] = v
+		}
+	}
+	for k, v := range nb.cpu {
+		if v == 0 {
+			delete(nb.cpu, k)
+		}
+	}
+	for k, v := range nb.mem {
+		if v == 0 {
+			delete(nb.mem, k)
+		}
+	}
+	for k, v := range nb.bw {
+		if v == 0 {
+			delete(nb.bw, k)
+		}
+	}
+	for k, v := range nb.exclEE {
+		if !v {
+			delete(nb.exclEE, k)
+		}
+	}
+	for k, v := range nb.exclLink {
+		if !v {
+			delete(nb.exclLink, k)
+		}
+	}
+	return nb
+}
+
+// mutation builds one epoch's delta against the pre-mutation state.
+// Delta maps allocate lazily: reads of a nil map are legal, so an epoch
+// that touches no masks carries no mask maps (smaller live heap for the
+// GC to scan across the delta chain).
+type mutation struct {
+	cur *viewState
+	d   *viewDelta
+}
+
+func (m *mutation) addCPU(ee string, v float64) {
+	if prev, ok := m.d.cpu[ee]; ok {
+		m.d.cpu[ee] = prev + v
+		return
+	}
+	if m.d.cpu == nil {
+		m.d.cpu = map[string]float64{}
+	}
+	m.d.cpu[ee] = m.cur.cpu(ee) + v
+}
+
+func (m *mutation) addMem(ee string, v int) {
+	if prev, ok := m.d.mem[ee]; ok {
+		m.d.mem[ee] = prev + v
+		return
+	}
+	if m.d.mem == nil {
+		m.d.mem = map[string]int{}
+	}
+	m.d.mem[ee] = m.cur.mem(ee) + v
+}
+
+func (m *mutation) addBW(k linkKey, v float64) {
+	if prev, ok := m.d.bw[k]; ok {
+		m.d.bw[k] = prev + v
+		return
+	}
+	if m.d.bw == nil {
+		m.d.bw = map[linkKey]float64{}
+	}
+	m.d.bw[k] = m.cur.bw(k) + v
+}
+
+func (m *mutation) setExclEE(ee string, v bool) {
+	if m.d.exclEE == nil {
+		m.d.exclEE = map[string]bool{}
+	}
+	m.d.exclEE[ee] = v
+}
+
+func (m *mutation) setExclLink(k linkKey, v bool) {
+	if m.d.exclLink == nil {
+		m.d.exclLink = map[linkKey]bool{}
+	}
+	m.d.exclLink[k] = v
+}
+
+// publish appends one epoch: fill runs against the pre-mutation state
+// and writes absolute values for the touched keys. Caller holds rv.mu.
+func (rv *ResourceView) publish(fill func(*mutation)) *viewState {
+	cur := rv.state.Load()
+	d := &viewDelta{parent: cur.delta}
+	fill(&mutation{cur: cur, d: d})
+	next := &viewState{epoch: cur.epoch + 1, base: cur.base, delta: d, depth: cur.depth + 1}
+	if next.depth >= compactDepth {
+		next.base = next.compact()
+		next.delta = nil
+		next.depth = 0
+	}
+	rv.state.Store(next)
+	return next
+}
+
+// NewResourceView returns an empty view; populate the topology fields and
+// start mapping, or use BuildResourceView. The cached path engine is on
+// by default (DisablePathCache reverts to per-route BFS).
 func NewResourceView() *ResourceView {
-	return &ResourceView{
+	rv := &ResourceView{
 		Switches: map[string]uint64{},
 		EEs:      map[string]*EERes{},
 		SAPs:     map[string]*SAPRes{},
-		resCPU:   map[string]float64{},
-		resMem:   map[string]int{},
-		resBW:    map[linkKey]float64{},
+	}
+	rv.state.Store(&viewState{base: &viewBase{
+		cpu:      map[string]float64{},
+		mem:      map[string]int{},
+		bw:       map[linkKey]float64{},
 		exclEE:   map[string]bool{},
 		exclLink: map[linkKey]bool{},
-	}
+	}})
+	rv.EnablePathCache(defaultPathCacheK)
+	return rv
+}
+
+// Epoch reports the view's current version: every Commit, Release, heal
+// delta and mask transition publishes exactly one new epoch. Releasing a
+// mapping restores the committed state exactly but still advances the
+// epoch (epochs are a history, not a value).
+func (rv *ResourceView) Epoch() uint64 {
+	return rv.state.Load().epoch
 }
 
 // ExcludeEE masks an EE out of the view: mapping and healing treat it as
-// gone until UnexcludeEE. Idempotent. Mask ownership: when a resilience
-// healer is attached to this view, it continuously reconciles the masks
-// with its failure detector's belief — masks set by other callers (e.g.
-// a manual drain) will be reverted unless the detector also considers
-// the resource down.
-func (rv *ResourceView) ExcludeEE(name string) {
-	rv.mu.Lock()
-	defer rv.mu.Unlock()
-	rv.exclEE[name] = true
-}
+// gone until UnexcludeEE. Idempotent (a no-op publishes no epoch). Mask
+// ownership: when a resilience healer is attached to this view, it
+// continuously reconciles the masks with its failure detector's belief —
+// masks set by other callers (e.g. a manual drain) will be reverted
+// unless the detector also considers the resource down.
+func (rv *ResourceView) ExcludeEE(name string) { rv.setEEMask(name, true) }
 
 // UnexcludeEE lifts an EE mask (failure healed).
-func (rv *ResourceView) UnexcludeEE(name string) {
+func (rv *ResourceView) UnexcludeEE(name string) { rv.setEEMask(name, false) }
+
+func (rv *ResourceView) setEEMask(name string, masked bool) {
 	rv.mu.Lock()
 	defer rv.mu.Unlock()
-	delete(rv.exclEE, name)
+	if rv.state.Load().excludedEE(name) == masked {
+		return
+	}
+	rv.publish(func(m *mutation) { m.setExclEE(name, masked) })
 }
 
 // ExcludeLink masks the link between two switches out of route finding.
-func (rv *ResourceView) ExcludeLink(a, b string) {
-	rv.mu.Lock()
-	defer rv.mu.Unlock()
-	rv.exclLink[mkLinkKey(a, b)] = true
-}
+// The transition is one epoch; the cached path engine drops exactly the
+// entries whose candidates cross the failed link.
+func (rv *ResourceView) ExcludeLink(a, b string) { rv.setLinkMask(mkLinkKey(a, b), true) }
 
-// UnexcludeLink lifts a link mask.
-func (rv *ResourceView) UnexcludeLink(a, b string) {
+// UnexcludeLink lifts a link mask. Entries computed while the link was
+// down may be missing now-shorter paths, so the path cache drops every
+// entry that avoided this link.
+func (rv *ResourceView) UnexcludeLink(a, b string) { rv.setLinkMask(mkLinkKey(a, b), false) }
+
+func (rv *ResourceView) setLinkMask(k linkKey, masked bool) {
 	rv.mu.Lock()
-	defer rv.mu.Unlock()
-	delete(rv.exclLink, mkLinkKey(a, b))
+	if rv.state.Load().excludedLink(k) == masked {
+		rv.mu.Unlock()
+		return
+	}
+	rv.publish(func(m *mutation) { m.setExclLink(k, masked) })
+	rv.mu.Unlock()
+	if pc := rv.paths.Load(); pc != nil {
+		if masked {
+			pc.onLinkMasked(k)
+		} else {
+			pc.onLinkUnmasked(k)
+		}
+	}
 }
 
 // ExcludedEE reports whether an EE is currently masked out.
 func (rv *ResourceView) ExcludedEE(name string) bool {
-	rv.mu.Lock()
-	defer rv.mu.Unlock()
-	return rv.exclEE[name]
+	return rv.state.Load().excludedEE(name)
 }
 
 // ExcludedLink reports whether the link between two switches is masked.
 func (rv *ResourceView) ExcludedLink(a, b string) bool {
-	rv.mu.Lock()
-	defer rv.mu.Unlock()
-	return rv.exclLink[mkLinkKey(a, b)]
+	return rv.state.Load().excludedLink(mkLinkKey(a, b))
 }
 
 // BuildResourceView scans an emulated network: switches and host-switch
@@ -202,92 +499,145 @@ func (rv *ResourceView) EENames() []string {
 	return out
 }
 
+// buildTopoIndex freezes the topology into an adjacency list (sorted
+// neighbor names, deduplicated) and a link index. Built once, on first
+// mapping use.
+func (rv *ResourceView) buildTopoIndex() {
+	rv.topoOnce.Do(func() {
+		rv.adj = map[string][]string{}
+		rv.linkIdx = map[linkKey]*LinkRes{}
+		for _, l := range rv.Links {
+			k := mkLinkKey(l.A, l.B)
+			if _, dup := rv.linkIdx[k]; dup {
+				continue // parallel links collapse, as in the flat scan before
+			}
+			rv.linkIdx[k] = l
+			rv.adj[l.A] = append(rv.adj[l.A], l.B)
+			rv.adj[l.B] = append(rv.adj[l.B], l.A)
+		}
+		for _, nbs := range rv.adj {
+			sort.Strings(nbs)
+		}
+	})
+}
+
+// SetLegacyBaseline toggles the pre-E12 admission cost model: Snapshot
+// eagerly materializes every EE and capacitated link (O(network) per
+// admission) and linkBetween/neighbors scan the flat link list instead
+// of the adjacency index, exactly as the pipeline worked before the
+// copy-on-write refactor. Results are identical — only the cost model
+// changes. E12 runs its serialized cells in this mode so the refactor
+// is measured against what it replaced.
+func (rv *ResourceView) SetLegacyBaseline(on bool) { rv.legacy.Store(on) }
+
 // linkBetween finds the resource link joining two switches, or nil.
 func (rv *ResourceView) linkBetween(a, b string) *LinkRes {
-	for _, l := range rv.Links {
-		if (l.A == a && l.B == b) || (l.A == b && l.B == a) {
-			return l
+	if rv.legacy.Load() {
+		for _, l := range rv.Links {
+			if (l.A == a && l.B == b) || (l.A == b && l.B == a) {
+				return l
+			}
 		}
+		return nil
 	}
-	return nil
+	rv.buildTopoIndex()
+	return rv.linkIdx[mkLinkKey(a, b)]
 }
 
-// neighbors returns adjacent switch names.
+// neighbors returns adjacent switch names (shared slice: do not mutate
+// unless in legacy mode, where each call builds a fresh slice).
 func (rv *ResourceView) neighbors(sw string) []string {
-	var out []string
-	for _, l := range rv.Links {
-		if l.A == sw {
-			out = append(out, l.B)
-		} else if l.B == sw {
-			out = append(out, l.A)
+	if rv.legacy.Load() {
+		var out []string
+		for _, l := range rv.Links {
+			if l.A == sw {
+				out = append(out, l.B)
+			} else if l.B == sw {
+				out = append(out, l.A)
+			}
 		}
+		sort.Strings(out)
+		return out
 	}
-	sort.Strings(out)
-	return out
+	rv.buildTopoIndex()
+	return rv.adj[sw]
 }
 
-// Capacities is a mutable snapshot of free resources used during mapping.
-// Excluded (failed) EEs and links are baked in at Snapshot time: they
-// never fit, whatever their nominal headroom.
+// Capacities is a mapper's working view of free resources: a pinned
+// immutable epoch of the ResourceView plus a local copy-on-write overlay
+// holding the mapper's own tentative reservations and (for healing) extra
+// exclusions. Snapshot is O(1); reads resolve lazily against the epoch
+// and memoize; writes touch only the overlay, so Clone is O(touched) —
+// backtracking mappers fork freely. Excluded (failed) EEs and links never
+// fit, whatever their nominal headroom.
 type Capacities struct {
-	CPUFree map[string]float64
-	MemFree map[string]int
-	BWFree  map[linkKey]float64
-	exclEE  map[string]bool
-	exclLk  map[linkKey]bool
-	rv      *ResourceView
+	rv *ResourceView
+	st *viewState
+
+	cpu    map[string]float64 // resolved free CPU (overlay ∪ memo)
+	mem    map[string]int
+	bw     map[linkKey]float64
+	exclEE map[string]bool // local additional masks (heal planning)
+	exclLk map[linkKey]bool
 }
 
-// Snapshot captures current free capacities (total minus committed) plus
-// the exclusion mask of the moment.
+// Snapshot pins the current epoch: an O(1) copy-on-write view of free
+// capacities plus the exclusion mask of the moment. In legacy-baseline
+// mode the snapshot is instead materialized eagerly for every EE and
+// capacitated link — the pre-refactor O(network) copy E12 measures
+// against.
 func (rv *ResourceView) Snapshot() *Capacities {
-	rv.mu.Lock()
-	defer rv.mu.Unlock()
 	c := &Capacities{
-		CPUFree: map[string]float64{},
-		MemFree: map[string]int{},
-		BWFree:  map[linkKey]float64{},
-		exclEE:  map[string]bool{},
-		exclLk:  map[linkKey]bool{},
-		rv:      rv,
+		rv:     rv,
+		st:     rv.state.Load(),
+		cpu:    map[string]float64{},
+		mem:    map[string]int{},
+		bw:     map[linkKey]float64{},
+		exclEE: map[string]bool{},
+		exclLk: map[linkKey]bool{},
 	}
-	for name, ee := range rv.EEs {
-		c.CPUFree[name] = ee.CPU - rv.resCPU[name]
-		c.MemFree[name] = ee.Mem - rv.resMem[name]
-	}
-	for _, l := range rv.Links {
-		k := mkLinkKey(l.A, l.B)
-		if l.Bandwidth > 0 {
-			c.BWFree[k] = l.Bandwidth - rv.resBW[k]
+	if rv.legacy.Load() {
+		for name, ee := range rv.EEs {
+			c.cpu[name] = ee.CPU - c.st.cpu(name)
+			c.mem[name] = ee.Mem - c.st.mem(name)
+			if c.st.excludedEE(name) {
+				c.exclEE[name] = true
+			}
 		}
-	}
-	for name := range rv.exclEE {
-		c.exclEE[name] = true
-	}
-	for k := range rv.exclLink {
-		c.exclLk[k] = true
+		for _, l := range rv.Links {
+			k := mkLinkKey(l.A, l.B)
+			if l.Bandwidth > 0 {
+				c.bw[k] = l.Bandwidth - c.st.bw(k)
+			}
+			if c.st.excludedLink(k) {
+				c.exclLk[k] = true
+			}
+		}
 	}
 	return c
 }
 
-// Clone deep-copies the capacities (backtracking mappers fork state).
+// Clone copies the overlay (backtracking mappers fork state): O(touched),
+// not O(network) — both views resolve untouched keys against the same
+// immutable epoch.
 func (c *Capacities) Clone() *Capacities {
 	nc := &Capacities{
-		CPUFree: make(map[string]float64, len(c.CPUFree)),
-		MemFree: make(map[string]int, len(c.MemFree)),
-		BWFree:  make(map[linkKey]float64, len(c.BWFree)),
-		exclEE:  make(map[string]bool, len(c.exclEE)),
-		exclLk:  make(map[linkKey]bool, len(c.exclLk)),
-		rv:      c.rv,
+		rv:     c.rv,
+		st:     c.st,
+		cpu:    make(map[string]float64, len(c.cpu)),
+		mem:    make(map[string]int, len(c.mem)),
+		bw:     make(map[linkKey]float64, len(c.bw)),
+		exclEE: make(map[string]bool, len(c.exclEE)),
+		exclLk: make(map[linkKey]bool, len(c.exclLk)),
 	}
-	for k, v := range c.CPUFree {
-		nc.CPUFree[k] = v
+	for k, v := range c.cpu {
+		nc.cpu[k] = v
 	}
-	for k, v := range c.MemFree {
-		nc.MemFree[k] = v
+	for k, v := range c.mem {
+		nc.mem[k] = v
 	}
-	for k, v := range c.BWFree {
-		nc.BWFree[k] = v
+	for k, v := range c.bw {
+		nc.bw[k] = v
 	}
 	for k := range c.exclEE {
 		nc.exclEE[k] = true
@@ -298,26 +648,92 @@ func (c *Capacities) Clone() *Capacities {
 	return nc
 }
 
+// FreeCPU resolves an EE's free CPU net of this view's own reservations.
+func (c *Capacities) FreeCPU(ee string) float64 {
+	if v, ok := c.cpu[ee]; ok {
+		return v
+	}
+	res := c.rv.EEs[ee]
+	if res == nil {
+		return 0
+	}
+	v := res.CPU - c.st.cpu(ee)
+	c.cpu[ee] = v
+	return v
+}
+
+// FreeMem resolves an EE's free memory net of this view's reservations.
+func (c *Capacities) FreeMem(ee string) int {
+	if v, ok := c.mem[ee]; ok {
+		return v
+	}
+	res := c.rv.EEs[ee]
+	if res == nil {
+		return 0
+	}
+	v := res.Mem - c.st.mem(ee)
+	c.mem[ee] = v
+	return v
+}
+
+// freeBW resolves a capacitated link's free bandwidth.
+func (c *Capacities) freeBW(k linkKey, capacity float64) float64 {
+	if v, ok := c.bw[k]; ok {
+		return v
+	}
+	v := capacity - c.st.bw(k)
+	c.bw[k] = v
+	return v
+}
+
+// FreeBW reports the free bandwidth between two adjacent switches and
+// whether the link is capacitated (uncapacitated links report 0, false).
+func (c *Capacities) FreeBW(a, b string) (float64, bool) {
+	l := c.rv.linkBetween(a, b)
+	if l == nil || l.Bandwidth <= 0 {
+		return 0, false
+	}
+	return c.freeBW(mkLinkKey(a, b), l.Bandwidth), true
+}
+
+// ExcludedEE reports whether an EE is masked in this view (epoch mask or
+// local overlay).
+func (c *Capacities) ExcludedEE(ee string) bool {
+	return c.exclEE[ee] || c.st.excludedEE(ee)
+}
+
+// ExcludeEE adds a view-local EE mask (healing plans mask freshly failed
+// EEs without publishing a view-wide epoch).
+func (c *Capacities) ExcludeEE(ee string) { c.exclEE[ee] = true }
+
+// ExcludeLink adds a view-local link mask.
+func (c *Capacities) ExcludeLink(a, b string) { c.exclLk[mkLinkKey(a, b)] = true }
+
+func (c *Capacities) excludedLink(k linkKey) bool {
+	return c.exclLk[k] || c.st.excludedLink(k)
+}
+
 // FitsEE reports whether an EE has the demanded headroom. Excluded
 // (failed) EEs never fit.
 func (c *Capacities) FitsEE(ee string, cpu float64, mem int) bool {
-	if c.exclEE[ee] {
+	if c.ExcludedEE(ee) {
 		return false
 	}
-	return c.CPUFree[ee] >= cpu && c.MemFree[ee] >= mem
+	return c.FreeCPU(ee) >= cpu && c.FreeMem(ee) >= mem
 }
 
 // TakeEE reserves compute on an EE.
 func (c *Capacities) TakeEE(ee string, cpu float64, mem int) {
-	c.CPUFree[ee] -= cpu
-	c.MemFree[ee] -= mem
+	c.cpu[ee] = c.FreeCPU(ee) - cpu
+	c.mem[ee] = c.FreeMem(ee) - mem
 }
 
 // linkFits reports whether the link between two adjacent switches has bw
 // headroom (uncapacitated links always fit). Excluded (failed) links
 // never fit, which is what keeps re-routed paths off dead trunks.
 func (c *Capacities) linkFits(a, b string, bw float64) bool {
-	if c.exclLk[mkLinkKey(a, b)] {
+	k := mkLinkKey(a, b)
+	if c.excludedLink(k) {
 		return false
 	}
 	l := c.rv.linkBetween(a, b)
@@ -325,9 +741,9 @@ func (c *Capacities) linkFits(a, b string, bw float64) bool {
 		return false
 	}
 	if l.Bandwidth <= 0 || bw <= 0 {
-		return l.Bandwidth <= 0 || c.BWFree[mkLinkKey(a, b)] >= bw
+		return true
 	}
-	return c.BWFree[mkLinkKey(a, b)] >= bw
+	return c.freeBW(k, l.Bandwidth) >= bw
 }
 
 // takePath reserves bandwidth along a switch route.
@@ -337,8 +753,23 @@ func (c *Capacities) takePath(route []string, bw float64) {
 	}
 	for i := 0; i+1 < len(route); i++ {
 		k := mkLinkKey(route[i], route[i+1])
-		if _, capped := c.BWFree[k]; capped {
-			c.BWFree[k] -= bw
+		if l := c.rv.linkBetween(route[i], route[i+1]); l != nil && l.Bandwidth > 0 {
+			c.bw[k] = c.freeBW(k, l.Bandwidth) - bw
+		}
+	}
+}
+
+// creditPath returns bandwidth along a route to this view (healing
+// virtually releases the routes it abandons so replacements can reuse
+// their capacity).
+func (c *Capacities) creditPath(route []string, bw float64) {
+	if bw <= 0 {
+		return
+	}
+	for i := 0; i+1 < len(route); i++ {
+		k := mkLinkKey(route[i], route[i+1])
+		if l := c.rv.linkBetween(route[i], route[i+1]); l != nil && l.Bandwidth > 0 {
+			c.bw[k] = c.freeBW(k, l.Bandwidth) + bw
 		}
 	}
 }
@@ -346,10 +777,24 @@ func (c *Capacities) takePath(route []string, bw float64) {
 // ShortestFeasiblePath finds the minimum-hop switch route from a to b
 // whose every link has bw headroom and whose total propagation delay is
 // within maxDelay (0 = unbounded). Returns nil when no route exists.
+// With the path cache enabled the candidates come precomputed per switch
+// pair and only feasibility is checked; a live BFS is the fallback when
+// no cached candidate fits.
 func (c *Capacities) ShortestFeasiblePath(a, b string, bw float64, maxDelay time.Duration) []string {
 	if a == b {
 		return []string{a}
 	}
+	if pc := c.rv.paths.Load(); pc != nil {
+		if route, ok := pc.lookup(c, a, b, bw, maxDelay); ok {
+			return route
+		}
+	}
+	return c.bfsPath(a, b, bw, maxDelay)
+}
+
+// bfsPath is the uncached search: breadth-first over the adjacency index
+// with feasibility and delay pruning inline.
+func (c *Capacities) bfsPath(a, b string, bw float64, maxDelay time.Duration) []string {
 	type state struct {
 		sw    string
 		delay time.Duration
@@ -390,8 +835,28 @@ func (c *Capacities) ShortestFeasiblePath(a, b string, bw float64, maxDelay time
 }
 
 // HopDistances computes BFS hop counts from a source switch (heuristic
-// mappers use these as distance estimates, ignoring capacity).
+// mappers use these as distance estimates, ignoring capacity). Results
+// are memoized per source — the raw topology is immutable — and returned
+// as a fresh copy.
 func (rv *ResourceView) HopDistances(from string) map[string]int {
+	cached := rv.hopDistancesShared(from)
+	out := make(map[string]int, len(cached))
+	for k, v := range cached {
+		out[k] = v
+	}
+	return out
+}
+
+// hopDistancesShared returns the memoized distance map itself — the
+// in-package mappers treat it as read-only, saving an O(switches) copy
+// per placement step on the admission hot path.
+func (rv *ResourceView) hopDistancesShared(from string) map[string]int {
+	rv.hopMu.Lock()
+	cached := rv.hopDist[from]
+	rv.hopMu.Unlock()
+	if cached != nil {
+		return cached
+	}
 	dist := map[string]int{from: 0}
 	queue := []string{from}
 	for len(queue) > 0 {
@@ -405,19 +870,46 @@ func (rv *ResourceView) HopDistances(from string) map[string]int {
 			queue = append(queue, nb)
 		}
 	}
+	rv.hopMu.Lock()
+	if rv.hopDist == nil {
+		rv.hopDist = map[string]map[string]int{}
+	}
+	if prior := rv.hopDist[from]; prior != nil {
+		dist = prior // a racing computation won; share one map
+	} else {
+		rv.hopDist[from] = dist
+	}
+	rv.hopMu.Unlock()
 	return dist
 }
 
-// Commit reserves a mapping's resources in the view (called by the
-// orchestrator after a successful Map).
+// Commit reserves a mapping's resources in the view unconditionally (one
+// published epoch). AdmitAndCommit is the validating front door; Commit
+// remains for callers that have already established feasibility (tests,
+// tools replaying known-good mappings).
 func (rv *ResourceView) Commit(m *Mapping) {
 	rv.mu.Lock()
 	defer rv.mu.Unlock()
+	rv.publish(func(mu *mutation) { applyMapping(mu, m, 1) })
+}
+
+// Release returns a mapping's resources to the view (teardown). The
+// committed state returns exactly to its pre-Commit value in one new
+// epoch.
+func (rv *ResourceView) Release(m *Mapping) {
+	rv.mu.Lock()
+	defer rv.mu.Unlock()
+	rv.publish(func(mu *mutation) { applyMapping(mu, m, -1) })
+}
+
+// applyMapping folds a mapping's demands into a mutation with the given
+// sign (+1 commit, -1 release).
+func applyMapping(mu *mutation, m *Mapping, sign float64) {
 	for nfID, ee := range m.Placements {
 		nf := m.Graph.NF(nfID)
 		cpu, mem := m.nfDemand(nf)
-		rv.resCPU[ee] += cpu
-		rv.resMem[ee] += mem
+		mu.addCPU(ee, sign*cpu)
+		mu.addMem(ee, int(sign)*mem)
 	}
 	for linkID, route := range m.Routes {
 		l := m.Graph.Link(linkID)
@@ -429,56 +921,20 @@ func (rv *ResourceView) Commit(m *Mapping) {
 			continue
 		}
 		for i := 0; i+1 < len(route); i++ {
-			rv.resBW[mkLinkKey(route[i], route[i+1])] += bw
+			mu.addBW(mkLinkKey(route[i], route[i+1]), sign*bw)
 		}
 	}
-}
-
-// AdmitAndCommit runs one admission cycle — map the graph, then commit
-// the mapping — as a single critical section over the view. Concurrent
-// callers serialize here, so a successful return means the committed
-// resources were actually free: parallel Deploys can never oversubscribe
-// the view. Mapping failures commit nothing.
-func (rv *ResourceView) AdmitAndCommit(m Mapper, g *sg.Graph) (*Mapping, error) {
-	rv.admitMu.Lock()
-	defer rv.admitMu.Unlock()
-	mapping, err := m.Map(g, rv)
-	if err != nil {
-		return nil, err
-	}
-	rv.Commit(mapping)
-	return mapping, nil
 }
 
 // Committed reports the currently committed compute on one EE (test and
 // invariant-checking hook: committed never exceeds EERes capacity).
 func (rv *ResourceView) Committed(ee string) (cpu float64, mem int) {
-	rv.mu.Lock()
-	defer rv.mu.Unlock()
-	return rv.resCPU[ee], rv.resMem[ee]
+	s := rv.state.Load()
+	return s.cpu(ee), s.mem(ee)
 }
 
-// Release returns a mapping's resources to the view (teardown).
-func (rv *ResourceView) Release(m *Mapping) {
-	rv.mu.Lock()
-	defer rv.mu.Unlock()
-	for nfID, ee := range m.Placements {
-		nf := m.Graph.NF(nfID)
-		cpu, mem := m.nfDemand(nf)
-		rv.resCPU[ee] -= cpu
-		rv.resMem[ee] -= mem
-	}
-	for linkID, route := range m.Routes {
-		l := m.Graph.Link(linkID)
-		if l == nil {
-			continue
-		}
-		bw := m.linkDemand(l)
-		if bw <= 0 {
-			continue
-		}
-		for i := 0; i+1 < len(route); i++ {
-			rv.resBW[mkLinkKey(route[i], route[i+1])] -= bw
-		}
-	}
+// CommittedBW reports the committed bandwidth on the link between two
+// switches.
+func (rv *ResourceView) CommittedBW(a, b string) float64 {
+	return rv.state.Load().bw(mkLinkKey(a, b))
 }

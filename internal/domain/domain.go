@@ -232,8 +232,11 @@ func (g *GlobalOrchestrator) Deploy(graph *sg.Graph) (*GlobalService, error) {
 		return nil, err
 	}
 
-	// Phase 1: domain-level admission — the same atomic map+commit cycle
-	// core uses, on the abstract view. Placements come back as domains.
+	// Phase 1: domain-level admission — the same optimistic
+	// validate-and-commit protocol core uses (AdmitAndCommit on the
+	// abstract view's versioned epochs), one level up. Placements come
+	// back as domains; concurrent multi-domain deploys that don't
+	// contend for the same aggregated capacity never serialize.
 	am, err := g.abstract.AdmitAndCommit(g.mapper, graph)
 	if err != nil {
 		return fail(fmt.Errorf("domain: global mapping %q: %w", graph.Name, err))

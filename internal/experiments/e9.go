@@ -105,7 +105,7 @@ func E9DeployThroughput(concurrencies []int, chainLen int) (*Table, error) {
 		Columns: []string{"conc", "realize", "steering", "total_ms", "svc_per_s", "p50_ms", "p95_ms", "undeploy_ms"},
 		Notes: []string{
 			"shape check: par+batch beats seq+path on svc_per_s, widening with concurrency",
-			"admission is atomic (map+commit critical section): no run may oversubscribe the view",
+			"admission is optimistic (lock-free map, validate-and-commit): no run may oversubscribe the view",
 		},
 	}
 	for _, n := range concurrencies {

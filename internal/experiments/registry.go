@@ -10,7 +10,7 @@ type Registered struct {
 	Quick func() (*Table, error)
 }
 
-// Registry lists every experiment (E1–E11) with quick parameters.
+// Registry lists every experiment (E1–E12) with quick parameters.
 func Registry() []Registered {
 	return []Registered{
 		{"e1", E1Architecture},
@@ -24,5 +24,6 @@ func Registry() []Registered {
 		{"e9", func() (*Table, error) { return E9DeployThroughput([]int{2}, 2) }},
 		{"e10", func() (*Table, error) { return E10MultiDomain(3, 2, 2) }},
 		{"e11", func() (*Table, error) { return E11SelfHealing([]int{1}, 2, 2) }},
+		{"e12", func() (*Table, error) { return E12Admission([]int{4}, []int{4}, 2) }},
 	}
 }
