@@ -123,13 +123,15 @@ func (svc *Service) Err() error {
 func (svc *Service) Watch() <-chan Event {
 	ch := make(chan Event, watchBuffer)
 	svc.lc.mu.Lock()
-	defer svc.lc.mu.Unlock()
 	if svc.lc.state.Terminal() {
-		ch <- Event{Service: svc.Name, State: svc.lc.state, Err: svc.lc.err, Time: time.Now()}
+		ev := Event{Service: svc.Name, State: svc.lc.state, Err: svc.lc.err, Time: time.Now()}
+		svc.lc.mu.Unlock()
+		ch <- ev
 		close(ch)
 		return ch
 	}
 	svc.lc.watchers = append(svc.lc.watchers, ch)
+	svc.lc.mu.Unlock()
 	return ch
 }
 

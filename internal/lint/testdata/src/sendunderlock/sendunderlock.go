@@ -1,0 +1,152 @@
+// Corpus for the sendunderlock analyzer. The bad cases reproduce the
+// PR 4 deadlock class: a blocking channel operation or blocking I/O
+// performed while a mutex is held. The good cases are the sanctioned
+// fixes — non-blocking select sends, close under the lock, moving the
+// blocking operation past the unlock — which must stay unflagged.
+package sendunderlock
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+type broadcaster struct {
+	mu   sync.Mutex
+	subs []chan int
+}
+
+// Regression: the historical subscriber-notification deadlock — a
+// blocking send to a slow subscriber while holding the registry lock.
+func (b *broadcaster) notifyBlocking(v int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, ch := range b.subs {
+		ch <- v // want `blocking channel send while holding b.mu`
+	}
+}
+
+// The fix that shipped: non-blocking send, laggards drop the event.
+func (b *broadcaster) notifyNonBlocking(v int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, ch := range b.subs {
+		select {
+		case ch <- v:
+		default:
+		}
+	}
+}
+
+// close() under the lock is part of the same sanctioned pattern (it is
+// what makes a concurrent send-on-closed impossible) and must not be
+// flagged.
+func (b *broadcaster) shutdown() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, ch := range b.subs {
+		close(ch)
+	}
+	b.subs = nil
+}
+
+func (b *broadcaster) sendAfterUnlock(v int) {
+	b.mu.Lock()
+	subs := append([]chan int(nil), b.subs...)
+	b.mu.Unlock()
+	for _, ch := range subs {
+		ch <- v
+	}
+}
+
+func (b *broadcaster) receiveUnderLock(ch chan int) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return <-ch // want `blocking channel receive while holding b.mu`
+}
+
+func (b *broadcaster) blockingSelect(ch chan int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select { // want `blocking select \(no default case\) while holding b.mu`
+	case v := <-ch:
+		_ = v
+	case b.subs[0] <- 1:
+	}
+}
+
+func (b *broadcaster) sleepUnderLock() {
+	b.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time.Sleep while holding b.mu`
+	b.mu.Unlock()
+}
+
+func (b *broadcaster) waitUnderLock(wg *sync.WaitGroup) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	wg.Wait() // want `sync.WaitGroup.Wait while holding b.mu`
+}
+
+// The net.Pipe wedge: a conn write while holding the element lock, with
+// the peer blocked on the same lock.
+func (b *broadcaster) writeUnderLock(conn net.Conn) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	conn.Write([]byte("x")) // want `net I/O Conn.Write while holding b.mu`
+}
+
+func (b *broadcaster) dialUnderLock() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	net.Dial("tcp", "127.0.0.1:1") // want `net.Dial while holding b.mu`
+}
+
+type guarded struct {
+	mu sync.RWMutex
+	ch chan int
+}
+
+func (g *guarded) sendUnderReadLock(v int) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	g.ch <- v // want `blocking channel send while holding g.mu`
+}
+
+// An unlock on one branch must clear the held state on that branch
+// only: the early-unlocked return path is clean, the fall-through path
+// is still under the lock.
+func (b *broadcaster) branchUnlock(done bool, ch chan int) {
+	b.mu.Lock()
+	if done {
+		b.mu.Unlock()
+		ch <- 1
+		return
+	}
+	ch <- 2 // want `blocking channel send while holding b.mu`
+	b.mu.Unlock()
+}
+
+// range over a channel is a blocking receive per iteration.
+func (b *broadcaster) rangeUnderLock(ch chan int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for v := range ch { // want `blocking channel receive \(range\) while holding b.mu`
+		_ = v
+	}
+}
+
+// A goroutine body does not inherit the spawner's locks.
+func (b *broadcaster) spawnIsClean(ch chan int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	go func() {
+		ch <- 1
+	}()
+}
+
+func (b *broadcaster) suppressed(ch chan int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	//lint:ignore sendunderlock receiver is a dedicated drainer, bounded wait
+	ch <- 1
+}

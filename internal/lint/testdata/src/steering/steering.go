@@ -1,0 +1,54 @@
+// Package steering is a structural stand-in for
+// escape/internal/steering, hosting the strict-variant corpus: sendMods
+// is unexported in the real package too, so the teardown-path rule only
+// ever fires inside it.
+package steering
+
+type switchMod struct{}
+
+type Steering struct{}
+
+func (s *Steering) sendMods(mods []switchMod) error { return nil }
+func (s *Steering) sendModsTolerant(mods []switchMod, skipDeadDeletes bool) (map[uint64]bool, error) {
+	return nil, nil
+}
+
+// Regression: the strict sendMods in a rollback aborted on the first
+// dead switch and left half the chain's flow entries installed.
+func (s *Steering) rollback(mods []switchMod) {
+	if err := s.sendMods(mods); err != nil { // want `teardown path rollback uses strict Steering.sendMods`
+		return
+	}
+}
+
+// Install paths are allowed — required, even — to be strict: a partial
+// install must abort and roll back.
+func (s *Steering) installPaths(mods []switchMod) error {
+	return s.sendMods(mods)
+}
+
+func (s *Steering) removePaths(mods []switchMod) error {
+	skipped, err := s.sendModsTolerant(mods, true)
+	_ = skipped
+	return err
+}
+
+// The teardown-name heuristic is case-insensitive and matches
+// substrings like Undeploy/cleanup/heal.
+func (s *Steering) cleanupAfterFailure(mods []switchMod) {
+	_, _ = s.sendModsTolerant(mods, true)
+	s.sendMods(mods) // want `teardown path cleanupAfterFailure uses strict Steering.sendMods` `error from control-plane call Steering.sendMods silently discarded`
+}
+
+// A function literal inside a teardown function is still a teardown
+// path.
+func (s *Steering) teardownAsync(mods []switchMod) func() error {
+	return func() error {
+		return s.sendMods(mods) // want `teardown path teardownAsync.func uses strict Steering.sendMods`
+	}
+}
+
+func (s *Steering) suppressedTeardown(mods []switchMod) {
+	//lint:ignore tolerantio deletes here are idempotent and the switch set is pinned alive
+	_ = s.sendMods(mods)
+}

@@ -1,0 +1,16 @@
+// Package vnfagent is a structural stand-in for escape/internal/vnfagent
+// (the tolerantio analyzer matches by package and type name).
+package vnfagent
+
+type Client struct{}
+
+func (c *Client) StopVNF(id string) error       { return nil }
+func (c *Client) DisconnectVNF(id string) error { return nil }
+func (c *Client) DeployVNF(id, ee string) error { return nil }
+func (c *Client) Close() error                  { return nil }
+func (c *Client) ServerCaps() []string          { return nil }
+
+type Pool struct{}
+
+func (p *Pool) Do(f func(*Client) error) error { return nil }
+func (p *Pool) Close()                         {}

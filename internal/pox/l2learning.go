@@ -72,8 +72,10 @@ func (l *L2Learning) HandlePacketIn(c *Connection, pi *openflow.PacketIn) {
 	l.mu.Unlock()
 
 	if sum.Dst.IsMulticast() || !known {
-		// Flood; do not install state for broadcast/unknown.
-		c.SendPacketOut(&openflow.PacketOut{
+		// Flood; do not install state for broadcast/unknown. A send
+		// failure means the connection is going down and readLoop will
+		// surface it; there is no learning state to unwind.
+		_ = c.SendPacketOut(&openflow.PacketOut{
 			BufferID: pi.BufferID,
 			InPort:   pi.InPort,
 			Actions:  []openflow.Action{openflow.ActionOutput{Port: openflow.PortFlood}},
@@ -92,7 +94,7 @@ func (l *L2Learning) HandlePacketIn(c *Connection, pi *openflow.PacketIn) {
 		return
 	}
 	match := openflow.ExactMatch(fields)
-	c.SendFlowMod(&openflow.FlowMod{
+	if err := c.SendFlowMod(&openflow.FlowMod{
 		Match:       match,
 		Command:     openflow.FCAdd,
 		IdleTimeout: l.idle(),
@@ -100,9 +102,16 @@ func (l *L2Learning) HandlePacketIn(c *Connection, pi *openflow.PacketIn) {
 		Priority:    l.priority(),
 		BufferID:    pi.BufferID,
 		Actions:     []openflow.Action{openflow.ActionOutput{Port: outPort}},
-	})
+	}); err != nil {
+		// Dying connection: don't follow up with a PacketOut the
+		// switch will never see; the next miss re-learns.
+		return
+	}
 	if pi.BufferID == openflow.NoBuffer {
-		c.SendPacketOut(&openflow.PacketOut{
+		// The frame was not buffered on the switch, so release our
+		// copy through the new entry's port. Same failure story as the
+		// flood path above.
+		_ = c.SendPacketOut(&openflow.PacketOut{
 			BufferID: openflow.NoBuffer,
 			InPort:   pi.InPort,
 			Actions:  []openflow.Action{openflow.ActionOutput{Port: outPort}},

@@ -309,7 +309,11 @@ func (c *Connection) readLoop() error {
 		}
 		switch m := msg.(type) {
 		case *openflow.EchoRequest:
-			c.sendXID(&openflow.EchoReply{Data: m.Data}, h.XID)
+			if err := c.sendXID(&openflow.EchoReply{Data: m.Data}, h.XID); err != nil {
+				// The write side died; stop reading instead of waiting
+				// for the read side to notice.
+				return err
+			}
 		case *openflow.PacketIn:
 			for _, comp := range c.ctrl.snapshotComponents() {
 				if ph, ok := comp.(PacketInHandler); ok {
