@@ -14,6 +14,7 @@ import (
 	"strconv"
 	"testing"
 
+	"escape/internal/click"
 	"escape/internal/experiments"
 )
 
@@ -102,8 +103,10 @@ func BenchmarkE5SteeringSetup(b *testing.B) {
 }
 
 // BenchmarkE6ClickDataPlane measures packet throughput through chains of
-// Click VNFs across all three scheduler drivers (single-threaded,
-// goroutine-per-task, work-stealing multithreaded).
+// Click VNFs across the scheduler drivers (single-threaded,
+// goroutine-per-task, work-stealing multithreaded, fused) including the
+// fused driver's ablation rows; the reported metric is the headline
+// fused configuration, which is always the table's final row.
 func BenchmarkE6ClickDataPlane(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		tbl, err := experiments.E6ClickDataPlane([]int{1, 2, 4, 8}, []int{64, 1500}, 2000)
@@ -111,8 +114,61 @@ func BenchmarkE6ClickDataPlane(b *testing.B) {
 			b.Fatal(err)
 		}
 		tbl.Render(tableOut())
-		b.ReportMetric(lastFloat(tbl, 3), "kpps@8vnf-multi")
+		b.ReportMetric(lastFloat(tbl, 3), "kpps@8vnf-fused")
 	}
+}
+
+// BenchmarkSPSCRing measures the lock-free single-producer ring the fused
+// driver builds queues and device boundaries on: one enqueue/dequeue pair
+// per op through a deep ring.
+func BenchmarkSPSCRing(b *testing.B) {
+	r := click.NewSPSCRing[int](1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Enqueue(i)
+		r.Dequeue()
+	}
+}
+
+// BenchmarkSPSCRingBatch measures the batched variant: one atomic publish
+// per 64-item burst.
+func BenchmarkSPSCRingBatch(b *testing.B) {
+	r := click.NewSPSCRing[int](1024)
+	in := make([]int, 64)
+	out := make([]int, 0, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.EnqueueBatch(in)
+		out = r.DequeueBatch(out[:0], 64)
+	}
+	_ = out
+}
+
+// BenchmarkMPSCRing measures the multi-producer ring used for RSS shard
+// fan-in, uncontended (contention behavior is covered by the -race tests).
+func BenchmarkMPSCRing(b *testing.B) {
+	r := click.NewMPSCRing[int](1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Enqueue(i)
+		r.Dequeue()
+	}
+}
+
+// BenchmarkFusedChain pushes frames through one VNF running a 4-element
+// forwarding chain (FromDevice → Counter → Queue → ToDevice) compiled to
+// a fused run-to-completion pipeline, end to end through ring devices.
+func BenchmarkFusedChain(b *testing.B) {
+	packets := b.N
+	if packets < 2000 {
+		packets = 2000
+	}
+	tbl := &experiments.Table{Columns: []string{"chain_len", "frame_B", "driver", "kpps", "us_per_pkt", "allocs_pkt"}}
+	if err := experiments.E6Cell(tbl, 1, 64, packets, "fused", click.Options{Driver: click.Fused}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(lastFloat(tbl, 3), "kpps")
+	b.ReportMetric(lastFloat(tbl, 5), "allocs/pkt")
 }
 
 // BenchmarkE7NETCONFControl measures vnf_starter RPC latency against

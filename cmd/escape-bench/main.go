@@ -30,10 +30,10 @@ import (
 )
 
 // parseE6Drivers maps a comma-separated driver list ("single,per-task,
-// multi" or "all") to click driver modes.
+// multi,fused" or "all") to click driver modes.
 func parseE6Drivers(s string) ([]click.DriverMode, error) {
 	if s == "" || s == "all" {
-		return nil, nil // E6ClickDataPlane defaults to all three
+		return nil, nil // E6ClickDataPlane defaults to all four
 	}
 	var out []click.DriverMode
 	for _, name := range strings.Split(s, ",") {
@@ -44,8 +44,10 @@ func parseE6Drivers(s string) ([]click.DriverMode, error) {
 			out = append(out, click.GoroutinePerTask)
 		case "multi":
 			out = append(out, click.MultiThreaded)
+		case "fused":
+			out = append(out, click.Fused)
 		default:
-			return nil, fmt.Errorf("unknown E6 driver %q (want single, per-task, multi)", name)
+			return nil, fmt.Errorf("unknown E6 driver %q (want single, per-task, multi, fused)", name)
 		}
 	}
 	return out, nil
@@ -54,7 +56,8 @@ func parseE6Drivers(s string) ([]click.DriverMode, error) {
 func main() {
 	which := flag.String("e", "all", "comma-separated experiments (e1..e11) or 'all'")
 	sizes := flag.String("sizes", "", "override E3 node counts, comma-separated")
-	e6drv := flag.String("e6drivers", "all", "E6 scheduler ablation subset: single,per-task,multi or 'all'")
+	e6drv := flag.String("e6drivers", "all", "E6 scheduler ablation subset: single,per-task,multi,fused or 'all'")
+	e6json := flag.String("e6json", "", "write E6 rows as JSON (BENCH_E6.json CI artifact) to this file")
 	e9conc := flag.String("e9conc", "", "override E9 concurrent-deploy counts, comma-separated")
 	e9chain := flag.Int("e9chain", 4, "E9 chain length (NFs per service)")
 	e10domains := flag.Int("e10domains", 3, "E10 number of orchestration domains")
@@ -186,6 +189,12 @@ func main() {
 			fatal(fmt.Errorf("%s: %w", e.id, err))
 		}
 		tbl.Render(os.Stdout)
+		if e.id == "e6" && *e6json != "" {
+			if err := experiments.WriteE6JSON(tbl, *e6json); err != nil {
+				fatal(fmt.Errorf("e6json: %w", err))
+			}
+			fmt.Fprintf(os.Stderr, "escape-bench: wrote %s\n", *e6json)
+		}
 		ran++
 	}
 	if *cpuprofile != "" {

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"escape/internal/pkt"
 )
@@ -136,8 +137,10 @@ func parseClassifierPattern(s string) (classifierPattern, error) {
 type Classifier struct {
 	Base
 	patterns []classifierPattern
-	counts   []uint64
-	drops    uint64
+	// counts/drops are atomics: the fused driver runs FusedAction without
+	// the element lock, racing handler reads.
+	counts []uint64
+	drops  atomic.Uint64
 }
 
 // Class implements Element.
@@ -167,22 +170,36 @@ func (c *Classifier) Push(port int, p *Packet) {
 	data := p.Data()
 	for i, pat := range c.patterns {
 		if pat.match(data) {
-			c.counts[i]++
+			atomic.AddUint64(&c.counts[i], 1)
 			c.PushOut(i, p)
 			return
 		}
 	}
-	c.drops++
+	c.drops.Add(1)
 	p.Kill()
+}
+
+// FusedAction implements Fusible for the single-output case (the fuse
+// compiler only fuses elements with exactly one wired output): a match
+// forwards, a miss drops. Patterns are immutable after Configure and the
+// counters are atomic.
+func (c *Classifier) FusedAction(p *Packet) *Packet {
+	if c.patterns[0].match(p.Data()) {
+		atomic.AddUint64(&c.counts[0], 1)
+		return p
+	}
+	c.drops.Add(1)
+	p.Kill()
+	return nil
 }
 
 // Handlers implements HandlerProvider.
 func (c *Classifier) Handlers() []Handler {
-	hs := []Handler{{Name: "drops", Read: func() string { return strconv.FormatUint(c.drops, 10) }}}
+	hs := []Handler{{Name: "drops", Read: func() string { return strconv.FormatUint(c.drops.Load(), 10) }}}
 	for i := range c.counts {
 		i := i
 		hs = append(hs, Handler{Name: fmt.Sprintf("count%d", i),
-			Read: func() string { return strconv.FormatUint(c.counts[i], 10) }})
+			Read: func() string { return strconv.FormatUint(atomic.LoadUint64(&c.counts[i]), 10) }})
 	}
 	return hs
 }

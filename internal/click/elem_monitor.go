@@ -5,10 +5,17 @@ import (
 	"io"
 	"os"
 	"strconv"
+	"sync/atomic"
 	"time"
 )
 
 // Monitoring and annotation elements.
+//
+// The packet/byte counters here are atomics rather than plain fields
+// guarded by the element mutex: the fused driver runs these elements'
+// FusedAction hooks outside any lock (possibly from several RSS shard
+// workers at once), and handler reads race those updates. Atomics keep
+// both paths safe without re-introducing a lock on the hot path.
 
 func init() {
 	RegisterElement("Counter", func() Element { return &Counter{} })
@@ -24,8 +31,8 @@ func init() {
 // Handlers: count, byte_count, rate, bit_rate (r), reset (w).
 type Counter struct {
 	Base
-	count    uint64
-	bytes    uint64
+	count    atomic.Uint64
+	bytes    atomic.Uint64
 	ratePPS  float64
 	rateBPS  float64
 	lastTick time.Time
@@ -41,47 +48,66 @@ func (*Counter) Spec() PortSpec { return agnostic(1, 1) }
 
 // SimpleAction implements the per-packet transform.
 func (c *Counter) SimpleAction(p *Packet) *Packet {
-	c.count++
-	c.bytes += uint64(p.Len())
+	c.count.Add(1)
+	c.bytes.Add(uint64(p.Len()))
 	return p
+}
+
+// FusedAction implements Fusible: counting is atomic, so the element is
+// safe inside a lock-free run-to-completion segment.
+func (c *Counter) FusedAction(p *Packet) *Packet { return c.SimpleAction(p) }
+
+// FusedBatch implements FusedBatcher: one pair of atomic adds covers the
+// whole burst.
+func (c *Counter) FusedBatch(ps []*Packet) []*Packet {
+	var bytes uint64
+	for _, p := range ps {
+		bytes += uint64(p.Len())
+	}
+	c.count.Add(uint64(len(ps)))
+	c.bytes.Add(bytes)
+	return ps
 }
 
 // Tick implements Ticker: EWMA rate update (α=0.5 per tick).
 func (c *Counter) Tick(now time.Time) {
+	cnt, byt := c.count.Load(), c.bytes.Load()
 	if c.lastTick.IsZero() {
 		c.lastTick = now
-		c.lastCnt = c.count
-		c.lastByte = c.bytes
+		c.lastCnt = cnt
+		c.lastByte = byt
 		return
 	}
 	dt := now.Sub(c.lastTick).Seconds()
 	if dt <= 0 {
 		return
 	}
-	instPPS := float64(c.count-c.lastCnt) / dt
-	instBPS := float64(c.bytes-c.lastByte) * 8 / dt
+	instPPS := float64(cnt-c.lastCnt) / dt
+	instBPS := float64(byt-c.lastByte) * 8 / dt
 	c.ratePPS = 0.5*c.ratePPS + 0.5*instPPS
 	c.rateBPS = 0.5*c.rateBPS + 0.5*instBPS
 	c.lastTick = now
-	c.lastCnt = c.count
-	c.lastByte = c.bytes
+	c.lastCnt = cnt
+	c.lastByte = byt
 }
 
 // Count returns the packet count (for in-process consumers).
-func (c *Counter) Count() uint64 { return c.count }
+func (c *Counter) Count() uint64 { return c.count.Load() }
 
 // ByteCount returns the byte count.
-func (c *Counter) ByteCount() uint64 { return c.bytes }
+func (c *Counter) ByteCount() uint64 { return c.bytes.Load() }
 
 // Handlers implements HandlerProvider.
 func (c *Counter) Handlers() []Handler {
 	return []Handler{
-		{Name: "count", Read: func() string { return strconv.FormatUint(c.count, 10) }},
-		{Name: "byte_count", Read: func() string { return strconv.FormatUint(c.bytes, 10) }},
+		{Name: "count", Read: func() string { return strconv.FormatUint(c.count.Load(), 10) }},
+		{Name: "byte_count", Read: func() string { return strconv.FormatUint(c.bytes.Load(), 10) }},
 		{Name: "rate", Read: func() string { return strconv.FormatFloat(c.ratePPS, 'f', 2, 64) }},
 		{Name: "bit_rate", Read: func() string { return strconv.FormatFloat(c.rateBPS, 'f', 2, 64) }},
 		{Name: "reset", Write: func(string) error {
-			c.count, c.bytes, c.ratePPS, c.rateBPS = 0, 0, 0, 0
+			c.count.Store(0)
+			c.bytes.Store(0)
+			c.ratePPS, c.rateBPS = 0, 0
 			c.lastCnt, c.lastByte = 0, 0
 			return nil
 		}},
@@ -92,14 +118,16 @@ func (c *Counter) Handlers() []Handler {
 // Click prints to stderr; so do we by default.
 var PrintWriter io.Writer = os.Stderr
 
-// Print logs a one-line summary of each passing packet.
+// Print logs a one-line summary of each passing packet. It stays off the
+// fused fast path on purpose: its output stream is shared mutable state
+// that the per-element lock serializes.
 //
 // Configuration: Print([LABEL][, MAXLENGTH n]).
 type Print struct {
 	Base
 	label  string
 	maxLen int
-	count  uint64
+	count  atomic.Uint64
 }
 
 // Class implements Element.
@@ -121,7 +149,7 @@ func (pr *Print) Configure(r *Router, args []string) error {
 
 // SimpleAction implements the per-packet transform.
 func (pr *Print) SimpleAction(p *Packet) *Packet {
-	pr.count++
+	pr.count.Add(1)
 	data := p.Data()
 	n := len(data)
 	show := data
@@ -138,7 +166,7 @@ func (pr *Print) SimpleAction(p *Packet) *Packet {
 
 // Handlers implements HandlerProvider.
 func (pr *Print) Handlers() []Handler {
-	return []Handler{{Name: "count", Read: func() string { return strconv.FormatUint(pr.count, 10) }}}
+	return []Handler{{Name: "count", Read: func() string { return strconv.FormatUint(pr.count.Load(), 10) }}}
 }
 
 // Paint sets the paint annotation.
@@ -175,6 +203,9 @@ func (pt *Paint) SimpleAction(p *Packet) *Packet {
 	return p
 }
 
+// FusedAction implements Fusible: the color is immutable after Configure.
+func (pt *Paint) FusedAction(p *Packet) *Packet { return pt.SimpleAction(p) }
+
 // SetTimestamp overwrites the packet timestamp with the current time.
 type SetTimestamp struct{ Base }
 
@@ -189,3 +220,6 @@ func (*SetTimestamp) SimpleAction(p *Packet) *Packet {
 	p.Timestamp = time.Now()
 	return p
 }
+
+// FusedAction implements Fusible: the element is stateless.
+func (st *SetTimestamp) FusedAction(p *Packet) *Packet { return st.SimpleAction(p) }

@@ -3,6 +3,7 @@ package click
 import (
 	"fmt"
 	"strconv"
+	"sync/atomic"
 	"time"
 )
 
@@ -18,6 +19,16 @@ func init() {
 // Queue stores packets in FIFO order: push input, pull output. Packets
 // pushed into a full queue are dropped (tail drop).
 //
+// Queues have two storage modes. The default is the mutex-guarded slice
+// ring: every access runs under the element lock acquired by the caller.
+// Under the Fused driver, the fuse compiler switches eligible queues to
+// a lock-free ring (SPSC for a single fused producer, MPSC for RSS
+// shard fan-in): producers enqueue and the single consumer dequeues with
+// atomic ring operations only, and counters become atomics so handler
+// reads stay race-free. Ring capacity rounds up to a power of two, and
+// the capacity write handler is rejected while a ring is active (resizing
+// a lock-free ring in place is not).
+//
 // Configuration: Queue([CAPACITY]). Handlers: length, capacity (rw),
 // drops, highwater (r), reset_counts (w).
 type Queue struct {
@@ -25,8 +36,20 @@ type Queue struct {
 	ring      []*Packet
 	head, n   int
 	capacity  int
-	drops     uint64
-	highwater int
+	drops     atomic.Uint64
+	highwater atomic.Int64
+
+	// lf, when non-nil, replaces the slice ring (fused fast path).
+	// lfUnlocked marks queues whose producer is a fused pipeline that
+	// enqueues without taking the element lock; InjectPush must be
+	// rejected for those (it would be a second, unsynchronized producer
+	// on an SPSC ring). fusedThrough marks queues a pipeline fused
+	// straight through: bursts run to the downstream sink in the
+	// pipeline goroutine and the queue itself never stores a packet, so
+	// its capacity is inert and resize writes are rejected.
+	lf           packetRing
+	lfUnlocked   bool
+	fusedThrough bool
 }
 
 // Class implements Element.
@@ -52,26 +75,83 @@ func (q *Queue) Configure(r *Router, args []string) error {
 	return nil
 }
 
+// enableRing switches the queue from the mutex-guarded slice ring to a
+// lock-free ring, migrating any already-queued packets. mpsc selects the
+// multi-producer variant (RSS shard fan-in); unlocked records that the
+// producer side will enqueue without holding the element lock. Called by
+// the fuse compiler before the router starts, never while traffic flows.
+func (q *Queue) enableRing(mpsc, unlocked bool) {
+	var r packetRing
+	if mpsc {
+		r = NewMPSCRing[*Packet](q.capacity)
+	} else {
+		r = NewSPSCRing[*Packet](q.capacity)
+	}
+	for q.n > 0 {
+		p := q.ring[q.head]
+		q.ring[q.head] = nil
+		q.head = (q.head + 1) % q.capacity
+		q.n--
+		r.Enqueue(p)
+	}
+	q.ring = nil
+	q.lf = r
+	q.lfUnlocked = unlocked
+}
+
 // Len reports the number of queued packets.
-func (q *Queue) Len() int { return q.n }
+func (q *Queue) Len() int {
+	if q.lf != nil {
+		return q.lf.Len()
+	}
+	return q.n
+}
+
+// noteDepth updates the high-water mark. The read-max-store is racy in
+// ring mode, but the mark is a statistic: a lost update costs at most a
+// slightly stale watermark, never a wrong packet.
+func (q *Queue) noteDepth(n int64) {
+	if n > q.highwater.Load() {
+		q.highwater.Store(n)
+	}
+}
 
 // Push implements Element.
 func (q *Queue) Push(port int, p *Packet) {
+	if q.lf != nil {
+		if !q.lf.Enqueue(p) {
+			q.drops.Add(1)
+			p.Kill()
+			return
+		}
+		q.noteDepth(int64(q.lf.Len()))
+		return
+	}
 	if q.n == q.capacity {
-		q.drops++
+		q.drops.Add(1)
 		p.Kill()
 		return
 	}
 	q.ring[(q.head+q.n)%q.capacity] = p
 	q.n++
-	if q.n > q.highwater {
-		q.highwater = q.n
-	}
+	q.noteDepth(int64(q.n))
 }
 
 // PushBatch implements Element: the whole burst is enqueued under the one
-// lock acquisition the caller already holds.
+// lock acquisition the caller already holds (or, in ring mode, with one
+// atomic publish for the whole burst).
 func (q *Queue) PushBatch(port int, ps []*Packet) {
+	if q.lf != nil {
+		taken := q.lf.EnqueueBatch(ps)
+		if taken < len(ps) {
+			q.drops.Add(uint64(len(ps) - taken))
+			for _, p := range ps[taken:] {
+				p.Kill()
+			}
+		}
+		q.noteDepth(int64(q.lf.Len()))
+		return
+	}
 	for _, p := range ps {
 		q.Push(port, p)
 	}
@@ -79,6 +159,10 @@ func (q *Queue) PushBatch(port int, ps []*Packet) {
 
 // Pull implements Element.
 func (q *Queue) Pull(port int) *Packet {
+	if q.lf != nil {
+		p, _ := q.lf.Dequeue()
+		return p
+	}
 	if q.n == 0 {
 		return nil
 	}
@@ -91,21 +175,36 @@ func (q *Queue) Pull(port int) *Packet {
 
 // PullBatch implements batchPuller: dequeue up to max packets in one call.
 func (q *Queue) PullBatch(port, max int, buf []*Packet) []*Packet {
+	if q.lf != nil {
+		return q.lf.DequeueBatch(buf, max-len(buf))
+	}
 	for len(buf) < max && q.n > 0 {
 		buf = append(buf, q.Pull(port))
 	}
 	return buf
 }
 
+// UnlockedPullBatch implements unlockedBatchPuller: in ring mode the
+// single consumer may dequeue without the element lock.
+func (q *Queue) UnlockedPullBatch(port, max int, buf []*Packet) []*Packet {
+	return q.lf.DequeueBatch(buf, max-len(buf))
+}
+
+// pullLockFree implements unlockedBatchPuller.
+func (q *Queue) pullLockFree() bool { return q.lf != nil }
+
 // Handlers implements HandlerProvider.
 func (q *Queue) Handlers() []Handler {
 	return []Handler{
-		{Name: "length", Read: func() string { return strconv.Itoa(q.n) }},
+		{Name: "length", Read: func() string { return strconv.Itoa(q.Len()) }},
 		{Name: "capacity", Read: func() string { return strconv.Itoa(q.capacity) },
 			Write: func(v string) error {
 				c, err := strconv.Atoi(v)
 				if err != nil || c <= 0 {
 					return fmt.Errorf("bad capacity %q", v)
+				}
+				if q.lf != nil || q.fusedThrough {
+					return fmt.Errorf("cannot resize a lock-free queue while the fused driver is running")
 				}
 				// Rebuild ring preserving contents that fit.
 				nr := make([]*Packet, c)
@@ -119,9 +218,13 @@ func (q *Queue) Handlers() []Handler {
 				q.ring, q.head, q.n, q.capacity = nr, 0, keep, c
 				return nil
 			}},
-		{Name: "drops", Read: func() string { return strconv.FormatUint(q.drops, 10) }},
-		{Name: "highwater", Read: func() string { return strconv.Itoa(q.highwater) }},
-		{Name: "reset_counts", Write: func(string) error { q.drops, q.highwater = 0, q.n; return nil }},
+		{Name: "drops", Read: func() string { return strconv.FormatUint(q.drops.Load(), 10) }},
+		{Name: "highwater", Read: func() string { return strconv.FormatInt(q.highwater.Load(), 10) }},
+		{Name: "reset_counts", Write: func(string) error {
+			q.drops.Store(0)
+			q.highwater.Store(int64(q.Len()))
+			return nil
+		}},
 	}
 }
 
@@ -132,7 +235,7 @@ func (q *Queue) Handlers() []Handler {
 type Unqueue struct {
 	Base
 	burst int
-	count uint64
+	count atomic.Uint64
 	batch []*Packet // scratch for batched pull→push handoff
 }
 
@@ -168,14 +271,14 @@ func (u *Unqueue) RunTask() bool {
 	if len(u.batch) == 0 {
 		return false
 	}
-	u.count += uint64(len(u.batch))
+	u.count.Add(uint64(len(u.batch)))
 	u.PushOutBatch(0, u.batch)
 	return true
 }
 
 // Handlers implements HandlerProvider.
 func (u *Unqueue) Handlers() []Handler {
-	return []Handler{{Name: "count", Read: func() string { return strconv.FormatUint(u.count, 10) }}}
+	return []Handler{{Name: "count", Read: func() string { return strconv.FormatUint(u.count.Load(), 10) }}}
 }
 
 // RatedUnqueue is Unqueue limited to RATE packets per second.

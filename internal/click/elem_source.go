@@ -3,6 +3,7 @@ package click
 import (
 	"fmt"
 	"strconv"
+	"sync/atomic"
 	"time"
 )
 
@@ -28,8 +29,8 @@ type InfiniteSource struct {
 	data   []byte
 	limit  int
 	burst  int
-	count  uint64
-	active bool
+	count  atomic.Uint64
+	active atomic.Bool
 }
 
 // Class implements Element.
@@ -59,43 +60,70 @@ func (s *InfiniteSource) Configure(r *Router, args []string) error {
 	} else {
 		s.data = make([]byte, length)
 	}
-	s.active = true
+	s.active.Store(true)
 	return nil
+}
+
+// pending reports how many packets the source may emit right now.
+func (s *InfiniteSource) pending() int {
+	if !s.active.Load() {
+		return 0
+	}
+	n := s.burst
+	if s.limit >= 0 {
+		if remaining := s.limit - int(s.count.Load()); remaining < n {
+			n = remaining
+		}
+	}
+	if n < 0 {
+		return 0
+	}
+	return n
 }
 
 // RunTask implements Tasker.
 func (s *InfiniteSource) RunTask() bool {
-	if !s.active {
-		return false
-	}
-	n := s.burst
-	if s.limit >= 0 {
-		if remaining := s.limit - int(s.count); remaining < n {
-			n = remaining
-		}
-	}
+	n := s.pending()
 	if n <= 0 {
 		return false
 	}
 	for i := 0; i < n; i++ {
 		s.PushOut(0, NewPacket(s.data))
-		s.count++
+		s.count.Add(1)
 	}
 	return true
+}
+
+// FusedIngest implements the fused driver's source hook: generate a
+// burst without the element lock. All mutable state (count, active) is
+// atomic.
+func (s *InfiniteSource) FusedIngest(buf []*Packet) []*Packet {
+	n := s.pending()
+	if n <= 0 {
+		return buf
+	}
+	now := time.Now()
+	for i := 0; i < n; i++ {
+		p := NewPacket(s.data)
+		p.Timestamp = now
+		buf = append(buf, p)
+	}
+	s.count.Add(uint64(n))
+	return buf
 }
 
 // Handlers implements HandlerProvider.
 func (s *InfiniteSource) Handlers() []Handler {
 	return []Handler{
-		{Name: "count", Read: func() string { return strconv.FormatUint(s.count, 10) }},
-		{Name: "reset", Write: func(string) error { s.count = 0; return nil }},
-		{Name: "active", Read: func() string { return strconv.FormatBool(s.active) },
+		{Name: "count", Read: func() string { return strconv.FormatUint(s.count.Load(), 10) }},
+		{Name: "reset", Write: func(string) error { s.count.Store(0); return nil }},
+		{Name: "active", Read: func() string { return strconv.FormatBool(s.active.Load()) },
 			Write: func(v string) error {
 				b, err := strconv.ParseBool(v)
 				if err != nil {
 					return err
 				}
-				s.active = b
+				s.active.Store(b)
 				return nil
 			}},
 	}
@@ -280,7 +308,7 @@ func (*Idle) Pull(int) *Packet { return nil }
 // Discard swallows every packet pushed into it. Handler: count (r).
 type Discard struct {
 	Base
-	count uint64
+	count atomic.Uint64
 }
 
 // Class implements Element.
@@ -291,37 +319,47 @@ func (*Discard) Spec() PortSpec { return pushPorts(1, 0) }
 
 // Push implements Element.
 func (d *Discard) Push(port int, p *Packet) {
-	d.count++
+	d.count.Add(1)
 	p.Kill()
 }
 
 // PushBatch implements Element.
 func (d *Discard) PushBatch(port int, ps []*Packet) {
-	d.count += uint64(len(ps))
+	d.count.Add(uint64(len(ps)))
 	for _, p := range ps {
 		p.Kill()
 	}
 }
 
+// FusedDeliver implements the fused driver's sink hook: reclaiming a
+// burst touches only the pool and the atomic counter, so no lock is
+// needed.
+func (d *Discard) FusedDeliver(ps []*Packet) { d.PushBatch(0, ps) }
+
 // Handlers implements HandlerProvider.
 func (d *Discard) Handlers() []Handler {
 	return []Handler{
-		{Name: "count", Read: func() string { return strconv.FormatUint(d.count, 10) }},
-		{Name: "reset", Write: func(string) error { d.count = 0; return nil }},
+		{Name: "count", Read: func() string { return strconv.FormatUint(d.count.Load(), 10) }},
+		{Name: "reset", Write: func(string) error { d.count.Store(0); return nil }},
 	}
 }
 
-// FromDevice injects frames arriving on a Device into the graph.
+// FromDevice injects frames arriving on a Device into the graph. When
+// the device supports batched receive (BatchRecver), bursts are drained
+// in one call; the regular drivers still copy each frame into a pooled
+// packet with headroom, while the fused driver adopts the frames
+// zero-copy (see FusedIngest).
 //
 // Configuration: FromDevice(DEVNAME[, BURST n]). Handlers: count (r).
 type FromDevice struct {
 	Base
 	devName string
 	dev     Device
+	br      BatchRecver // non-nil when the device supports batched receive
 	burst   int
-	count   uint64
-	drops   uint64
+	count   atomic.Uint64
 	batch   []*Packet // scratch for batched ingest
+	frames  [][]byte  // scratch for batched device receive
 }
 
 // Class implements Element.
@@ -351,34 +389,80 @@ func (f *FromDevice) Init() error {
 		return fmt.Errorf("device %q not attached to router", f.devName)
 	}
 	f.dev = dev
+	if br, ok := dev.(BatchRecver); ok {
+		f.br = br
+	}
 	return nil
 }
 
 // RunTask implements Tasker: drain up to a burst of frames off the device,
-// then hand the whole batch downstream under one lock acquisition.
+// then hand the whole batch downstream under one lock acquisition. Frames
+// are copied into pooled packets so downstream elements get headroom and
+// the device may reuse its buffers.
 func (f *FromDevice) RunTask() bool {
 	f.batch = f.batch[:0]
-drain:
-	for len(f.batch) < f.burst {
-		select {
-		case frame := <-f.dev.Recv():
+	if f.br != nil {
+		f.frames = f.br.RecvBatch(f.frames[:0], f.burst)
+		for _, frame := range f.frames {
 			f.batch = append(f.batch, NewPacket(frame))
-		default:
-			break drain
+		}
+	} else {
+	drain:
+		for len(f.batch) < f.burst {
+			select {
+			case frame := <-f.dev.Recv():
+				f.batch = append(f.batch, NewPacket(frame))
+			default:
+				break drain
+			}
 		}
 	}
 	if len(f.batch) == 0 {
 		return false
 	}
-	f.count += uint64(len(f.batch))
+	f.count.Add(uint64(len(f.batch)))
 	f.PushOutBatch(0, f.batch)
 	return true
+}
+
+// FusedIngest implements the fused driver's source hook: drain a burst
+// without the element lock. BatchRecver frames are adopted zero-copy
+// (their ownership transferred with RecvBatch) and the whole burst is
+// stamped with one clock read; channel devices fall back to the copying
+// path, which stays correct for devices that recycle buffers.
+func (f *FromDevice) FusedIngest(buf []*Packet) []*Packet {
+	if f.br != nil {
+		f.frames = f.br.RecvBatch(f.frames[:0], f.burst)
+		if len(f.frames) == 0 {
+			return buf
+		}
+		now := time.Now()
+		for _, frame := range f.frames {
+			p := AdoptPacket(frame)
+			p.Timestamp = now
+			buf = append(buf, p)
+		}
+		f.count.Add(uint64(len(f.frames)))
+		return buf
+	}
+	n0 := len(buf)
+	for len(buf)-n0 < f.burst {
+		select {
+		case frame := <-f.dev.Recv():
+			buf = append(buf, NewPacket(frame))
+		default:
+			f.count.Add(uint64(len(buf) - n0))
+			return buf
+		}
+	}
+	f.count.Add(uint64(len(buf) - n0))
+	return buf
 }
 
 // Handlers implements HandlerProvider.
 func (f *FromDevice) Handlers() []Handler {
 	return []Handler{
-		{Name: "count", Read: func() string { return strconv.FormatUint(f.count, 10) }},
+		{Name: "count", Read: func() string { return strconv.FormatUint(f.count.Load(), 10) }},
 		{Name: "device", Read: func() string { return f.devName }},
 	}
 }
@@ -392,11 +476,13 @@ type ToDevice struct {
 	Base
 	devName  string
 	dev      Device
+	bs       BatchSender // non-nil when dev supports batched transmit
 	burst    int
 	pullMode bool
-	count    uint64
-	drops    uint64
+	count    atomic.Uint64
+	drops    atomic.Uint64
 	batch    []*Packet // scratch for batched drain
+	frames   [][]byte  // scratch for batched transmit
 }
 
 // Class implements Element.
@@ -428,6 +514,7 @@ func (t *ToDevice) Init() error {
 		return fmt.Errorf("device %q not attached to router", t.devName)
 	}
 	t.dev = dev
+	t.bs, _ = dev.(BatchSender)
 	// Pull mode when processing negotiation resolved our input to pull
 	// (a Queue somewhere upstream, possibly through agnostic elements).
 	t.pullMode = t.ResolvedIn(0) == Pull
@@ -439,9 +526,7 @@ func (t *ToDevice) Push(port int, p *Packet) { t.send(p) }
 
 // PushBatch implements Element.
 func (t *ToDevice) PushBatch(port int, ps []*Packet) {
-	for _, p := range ps {
-		t.send(p)
-	}
+	t.sendBatch(ps)
 }
 
 // RunTask implements Tasker: drain a burst from the upstream Queue under
@@ -454,10 +539,36 @@ func (t *ToDevice) RunTask() bool {
 	if len(t.batch) == 0 {
 		return false
 	}
-	for _, p := range t.batch {
-		t.send(p)
-	}
+	t.sendBatch(t.batch)
 	return true
+}
+
+// sendBatch transmits a burst: one BatchSender call when the device
+// supports it (a single atomic publish on a RingDevice), per-frame Send
+// otherwise. Frames the device did not accept are counted as drops.
+func (t *ToDevice) sendBatch(ps []*Packet) {
+	if t.bs == nil {
+		for _, p := range ps {
+			t.send(p)
+		}
+		return
+	}
+	t.frames = t.frames[:0]
+	for _, p := range ps {
+		t.frames = append(t.frames, p.Data())
+	}
+	n := t.bs.SendBatch(t.frames)
+	t.count.Add(uint64(n))
+	for _, p := range ps[:n] {
+		p.Detach()
+		p.Kill()
+	}
+	if n < len(ps) {
+		t.drops.Add(uint64(len(ps) - n))
+		for _, p := range ps[n:] {
+			p.Kill()
+		}
+	}
 }
 
 // send transmits and reclaims the packet. On success the device owns the
@@ -465,20 +576,27 @@ func (t *ToDevice) RunTask() bool {
 // device retained nothing and the whole packet returns to the pool.
 func (t *ToDevice) send(p *Packet) {
 	if err := t.dev.Send(p.Data()); err != nil {
-		t.drops++
+		t.drops.Add(1)
 		p.Kill()
 		return
 	}
-	t.count++
+	t.count.Add(1)
 	p.Detach()
 	p.Kill()
+}
+
+// FusedDeliver implements the fused driver's sink hook for push-mode
+// ToDevice: transmission touches only the device and atomic counters, so
+// a single pipeline may deliver bursts without the element lock.
+func (t *ToDevice) FusedDeliver(ps []*Packet) {
+	t.sendBatch(ps)
 }
 
 // Handlers implements HandlerProvider.
 func (t *ToDevice) Handlers() []Handler {
 	return []Handler{
-		{Name: "count", Read: func() string { return strconv.FormatUint(t.count, 10) }},
-		{Name: "drops", Read: func() string { return strconv.FormatUint(t.drops, 10) }},
+		{Name: "count", Read: func() string { return strconv.FormatUint(t.count.Load(), 10) }},
+		{Name: "drops", Read: func() string { return strconv.FormatUint(t.drops.Load(), 10) }},
 		{Name: "device", Read: func() string { return t.devName }},
 	}
 }

@@ -324,13 +324,26 @@ type batchPuller interface {
 	PullBatch(port, max int, buf []*Packet) []*Packet
 }
 
+// unlockedBatchPuller is implemented by pull outputs whose storage is a
+// lock-free ring with a single consumer (Queue in ring mode): the consumer
+// may dequeue without taking the element lock at all. pullLockFree gates
+// the fast path so the same element type still works in locked mode.
+type unlockedBatchPuller interface {
+	UnlockedPullBatch(port, max int, buf []*Packet) []*Packet
+	pullLockFree() bool
+}
+
 // PullInBatch pulls up to max packets from input port i into buf (reused
-// across calls by the caller), acquiring the upstream lock once.
+// across calls by the caller), acquiring the upstream lock once — or not
+// at all when the upstream is a lock-free ring queue.
 func (b *Base) PullInBatch(i, max int, buf []*Packet) []*Packet {
 	if i >= len(b.ins) || b.ins[i].elem == nil {
 		return buf
 	}
 	in := b.ins[i]
+	if up, ok := in.elem.(unlockedBatchPuller); ok && up.pullLockFree() {
+		return up.UnlockedPullBatch(in.port, max, buf)
+	}
 	sb := in.elem.base()
 	sb.mu.Lock()
 	if bp, ok := in.elem.(batchPuller); ok {

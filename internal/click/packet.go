@@ -88,6 +88,23 @@ func NewPacket(data []byte) *Packet {
 	return p
 }
 
+// AdoptPacket wraps frame in a Packet without copying: the packet takes
+// ownership of the slice itself, so the caller must not touch frame
+// afterwards. Adopted packets carry no headroom (Prepend falls back to an
+// allocating copy) and a zero Timestamp — the fused ingest path stamps
+// whole bursts with one time.Now() call instead of one per packet. Use it
+// only with frames whose ownership genuinely transfers (BatchRecver
+// devices); for shared or device-retained buffers use NewPacket.
+func AdoptPacket(frame []byte) *Packet {
+	p := packetPool.Get().(*Packet)
+	p.buf = frame
+	p.off = 0
+	p.Timestamp = time.Time{}
+	p.Paint = 0
+	p.Mark = 0
+	return p
+}
+
 // Kill releases the packet back to the allocator pool. The caller must
 // own the packet and must not touch it afterwards: Kill is the terminal
 // operation of every drop path (tail drop, classifier miss, Discard) and

@@ -29,6 +29,13 @@ const (
 	// worker migrates tasks from a loaded one, so a chain's receive and
 	// transmit sides run on different cores — Click's SMP driver.
 	MultiThreaded
+	// Fused compiles loop-free single-consumer push chains into
+	// run-to-completion pipelines at init (see fuse.go): one goroutine per
+	// pipeline executes source → transforms → sink with no per-element
+	// locking or scheduling, eligible Queues switch to lock-free rings,
+	// and Options.Shards spreads a pipeline over RSS flow shards. Elements
+	// the compiler cannot prove safe fall back to the locked task path.
+	Fused
 )
 
 // String names the driver mode as used in experiment tables.
@@ -38,6 +45,8 @@ func (m DriverMode) String() string {
 		return "per-task"
 	case MultiThreaded:
 		return "multi"
+	case Fused:
+		return "fused"
 	}
 	return "single"
 }
@@ -50,10 +59,23 @@ type Options struct {
 	// Driver selects the scheduling mode; default SingleThreaded.
 	Driver DriverMode
 	// Workers sets the MultiThreaded worker count; default GOMAXPROCS,
-	// capped at the number of tasks. Ignored by the other drivers.
+	// capped at the number of tasks. Under Fused it sizes the worker pool
+	// for leftover (non-fused) tasks. Ignored by the other drivers.
 	Workers int
 	// TickInterval is the period for Ticker elements; default 10ms.
 	TickInterval time.Duration
+	// Shards, under the Fused driver, runs each fused pipeline as Shards
+	// parallel workers fed by an RSS-style 5-tuple hash at ingress, so one
+	// flow always lands on one shard (per-flow order preserved). Default 1
+	// (no sharding).
+	Shards int
+	// NoFusion, under the Fused driver, disables chain fusion while still
+	// converting eligible Queues to lock-free rings: the E6 ablation knob
+	// isolating what fusion itself buys.
+	NoFusion bool
+	// NoRing, under the Fused driver, keeps Queues on their mutex-guarded
+	// storage: the E6 ablation knob isolating what lock-free rings buy.
+	NoRing bool
 }
 
 // Router is an instantiated, wired Click element graph: one VNF instance.
@@ -68,6 +90,11 @@ type Router struct {
 	running bool
 	stopped chan struct{}
 	cancel  context.CancelFunc
+
+	// Fused-driver state built by compileFused (nil otherwise).
+	fused         []*fusedPipeline
+	fusedLeftover []taskEntry
+	fusedElems    map[string]bool // elements owned by a pipeline; InjectPush rejected
 
 	// stats
 	startedAt time.Time
@@ -181,6 +208,9 @@ func NewRouterFromConfig(name string, cfg *Config, opts Options) (*Router, error
 				return nil, fmt.Errorf("click: initializing %s: %w", n, err)
 			}
 		}
+	}
+	if opts.Driver == Fused {
+		r.compileFused()
 	}
 	return r, nil
 }
@@ -333,6 +363,8 @@ func (r *Router) Run(ctx context.Context) {
 		r.runGoroutinePerTask(ctx)
 	case MultiThreaded:
 		r.runMultiThreaded(ctx)
+	case Fused:
+		r.runFused(ctx)
 	default:
 		r.runSingleThreaded(ctx)
 	}
@@ -372,14 +404,17 @@ func (r *Router) runSingleThreaded(ctx context.Context) {
 		// VNF costs ~nothing.
 		idleSpins++
 		if idleSpins > 16 {
-			select {
-			case <-ctx.Done():
-				return
-			case <-time.After(200 * time.Microsecond):
-			}
+			idleSleep()
 		}
 	}
 }
+
+// idleSleep briefly parks an idle driver goroutine. A plain time.Sleep
+// rather than a select on time.After: the timer variant allocates on
+// every idle event, which shows up in the fused data path's
+// allocations-per-packet budget. Callers re-check ctx on the next loop
+// iteration, so cancellation latency is bounded by the sleep.
+func idleSleep() { time.Sleep(200 * time.Microsecond) }
 
 func (r *Router) runGoroutinePerTask(ctx context.Context) {
 	var wg sync.WaitGroup
@@ -400,11 +435,7 @@ func (r *Router) runGoroutinePerTask(ctx context.Context) {
 				}
 				idleSpins++
 				if idleSpins > 16 {
-					select {
-					case <-ctx.Done():
-						return
-					case <-time.After(200 * time.Microsecond):
-					}
+					idleSleep()
 				}
 			}
 		}(te)
@@ -475,26 +506,34 @@ func (w *mtWorker) stealFrom(victim *mtWorker) bool {
 // steals half of another worker's tasks before backing off, so load
 // follows the traffic regardless of the initial shard.
 func (r *Router) runMultiThreaded(ctx context.Context) {
-	nw := r.opts.Workers
+	var wg sync.WaitGroup
+	spawnTaskWorkers(ctx, r.tasks, r.opts.Workers, &wg)
+	r.tickUntilDone(ctx)
+	wg.Wait()
+}
+
+// spawnTaskWorkers starts the work-stealing worker pool over tasks,
+// registering each worker goroutine with wg. Spawns nothing when tasks is
+// empty. MultiThreaded runs the whole task list through it; Fused runs
+// the leftover (non-fused) tasks through it.
+func spawnTaskWorkers(ctx context.Context, tasks []taskEntry, nw int, wg *sync.WaitGroup) {
 	if nw <= 0 {
 		nw = runtime.GOMAXPROCS(0)
 	}
-	if nw > len(r.tasks) {
-		nw = len(r.tasks)
+	if nw > len(tasks) {
+		nw = len(tasks)
 	}
 	if nw == 0 {
-		r.tickUntilDone(ctx)
 		return
 	}
 	workers := make([]*mtWorker, nw)
 	for i := range workers {
 		workers[i] = &mtWorker{}
 	}
-	for i, te := range r.tasks {
+	for i, te := range tasks {
 		w := workers[i%nw]
 		w.tasks = append(w.tasks, &mtTask{te: te})
 	}
-	var wg sync.WaitGroup
 	for i := 0; i < nw; i++ {
 		wg.Add(1)
 		go func(self int) {
@@ -539,15 +578,26 @@ func (r *Router) runMultiThreaded(ctx context.Context) {
 				}
 				idleSpins++
 				if idleSpins > 16 {
-					select {
-					case <-ctx.Done():
-						return
-					case <-time.After(200 * time.Microsecond):
-					}
+					idleSleep()
 				}
 			}
 		}(i)
 	}
+}
+
+// runFused starts one goroutine per compiled pipeline (or per shard when
+// RSS sharding is on) plus a work-stealing pool for every task the
+// compiler left on the locked path.
+func (r *Router) runFused(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, fp := range r.fused {
+		wg.Add(1)
+		go func(fp *fusedPipeline) {
+			defer wg.Done()
+			fp.run(ctx)
+		}(fp)
+	}
+	spawnTaskWorkers(ctx, r.fusedLeftover, r.opts.Workers, &wg)
 	r.tickUntilDone(ctx)
 	wg.Wait()
 }
@@ -704,11 +754,17 @@ func (r *Router) WriteHandler(spec, value string) error {
 
 // InjectPush pushes a packet into a named element's input port from outside
 // the driver (tests, traffic tools). It serializes on the element's lock,
-// exactly like an upstream neighbour would.
+// exactly like an upstream neighbour would. Elements owned by a fused
+// pipeline are rejected: the pipeline runs them without that lock, so an
+// injected push would race it (and a lock-free SPSC queue would gain a
+// second producer).
 func (r *Router) InjectPush(elem string, port int, p *Packet) error {
 	e, ok := r.elems[elem]
 	if !ok {
 		return fmt.Errorf("click: no element %q", elem)
+	}
+	if r.fusedElems[elem] {
+		return fmt.Errorf("click: element %q is fused into a run-to-completion pipeline; InjectPush would race it", elem)
 	}
 	b := e.base()
 	b.mu.Lock()

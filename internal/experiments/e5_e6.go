@@ -3,6 +3,8 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"net/netip"
+	"runtime"
 	"time"
 
 	"escape/internal/click"
@@ -135,36 +137,69 @@ func E5Steering(lengths []int) (*Table, error) {
 }
 
 // chainOfRouters builds L Click forwarder VNFs connected in series via
-// shared channels and returns the entry channel, exit channel and the
-// routers.
-func chainOfRouters(L int, driver click.DriverMode) (chan []byte, chan []byte, []*click.Router, error) {
-	chans := make([]chan []byte, L+1)
-	for i := range chans {
-		chans[i] = make(chan []byte, 4096)
+// shared lock-free frame rings (RingDevice) and returns the entry ring,
+// exit ring and the routers. Ring boundaries are what lets the fused
+// driver move frames through the whole chain zero-copy; the locked
+// drivers run over the same devices via the BatchRecver path, so the E6
+// driver comparison isolates scheduling and locking rather than device
+// overhead.
+func chainOfRouters(L int, opts click.Options) (*click.SPSCRing[[]byte], *click.SPSCRing[[]byte], []*click.Router, error) {
+	rings := make([]*click.SPSCRing[[]byte], L+1)
+	for i := range rings {
+		rings[i] = click.NewSPSCRing[[]byte](4096)
 	}
 	routers := make([]*click.Router, L)
 	for i := 0; i < L; i++ {
-		in := &click.ChanDevice{Name: "in", In: chans[i]}
-		out := &click.ChanDevice{Name: "out", Out: chans[i+1]}
+		in := &click.RingDevice{Name: "in", In: rings[i]}
+		out := &click.RingDevice{Name: "out", Out: rings[i+1]}
+		o := opts
+		o.Devices = map[string]click.Device{"in": in, "out": out}
 		r, err := click.NewRouter(fmt.Sprintf("vnf%d", i),
-			`FromDevice(in) -> cnt :: Counter -> Queue(4096) -> ToDevice(out);`,
-			click.Options{Devices: map[string]click.Device{"in": in, "out": out}, Driver: driver})
+			`FromDevice(in) -> cnt :: Counter -> Queue(4096) -> ToDevice(out);`, o)
 		if err != nil {
 			return nil, nil, nil, err
 		}
 		routers[i] = r
 	}
-	return chans[0], chans[L], routers, nil
+	return rings[0], rings[L], routers, nil
 }
 
 // E6Drivers is the default scheduler ablation set: Click's single-threaded
-// userlevel driver, the goroutine-per-task ablation, and the work-stealing
-// multithreaded (SMP) driver.
-var E6Drivers = []click.DriverMode{click.SingleThreaded, click.GoroutinePerTask, click.MultiThreaded}
+// userlevel driver, the goroutine-per-task ablation, the work-stealing
+// multithreaded (SMP) driver, and the fused run-to-completion driver.
+var E6Drivers = []click.DriverMode{click.SingleThreaded, click.GoroutinePerTask, click.MultiThreaded, click.Fused}
+
+// e6Variant is one measured row: a label and the router options behind it.
+type e6Variant struct {
+	label string
+	opts  click.Options
+}
+
+// e6Variants expands the driver list into measured rows. The Fused driver
+// contributes its ablations first — rings without fusion, fusion without
+// rings, fusion+rings with RSS sharding — and the full fast path last, so
+// the table's final row is the headline configuration.
+func e6Variants(drivers []click.DriverMode) []e6Variant {
+	var vs []e6Variant
+	for _, d := range drivers {
+		if d != click.Fused {
+			vs = append(vs, e6Variant{label: d.String(), opts: click.Options{Driver: d}})
+			continue
+		}
+		vs = append(vs,
+			e6Variant{label: "fused-nofusion", opts: click.Options{Driver: click.Fused, NoFusion: true}},
+			e6Variant{label: "fused-noring", opts: click.Options{Driver: click.Fused, NoRing: true}},
+			e6Variant{label: "fused+rss2", opts: click.Options{Driver: click.Fused, Shards: 2}},
+			e6Variant{label: "fused", opts: click.Options{Driver: click.Fused}},
+		)
+	}
+	return vs
+}
 
 // E6ClickDataPlane pushes frames through chains of Click VNFs and
-// reports throughput, including the scheduler ablation across all three
-// drivers (pass an explicit subset to narrow it).
+// reports throughput, per-packet latency and steady-state allocations,
+// across the scheduler ablation (pass an explicit driver subset to
+// narrow it; the Fused driver expands into its own ablation rows).
 func E6ClickDataPlane(lengths []int, frameSizes []int, packets int, drivers ...click.DriverMode) (*Table, error) {
 	if len(lengths) == 0 {
 		lengths = []int{1, 2, 4, 8}
@@ -181,16 +216,18 @@ func E6ClickDataPlane(lengths []int, frameSizes []int, packets int, drivers ...c
 	t := &Table{
 		ID:      "E6",
 		Title:   fmt.Sprintf("Click data plane: %d frames through VNF chains", packets),
-		Columns: []string{"chain_len", "frame_B", "driver", "kpps", "us_per_pkt"},
+		Columns: []string{"chain_len", "frame_B", "driver", "kpps", "us_per_pkt", "allocs_pkt"},
 		Notes: []string{
 			"shape check: throughput falls ~1/L in chain length",
 			"multi runs each VNF's RX and TX sides on separate workers (per-element locks)",
+			"fused compiles each VNF to a run-to-completion pipeline over lock-free rings (allocs_pkt ~0)",
+			"allocs_pkt counts heap allocations per forwarded packet in the post-warmup phase",
 		},
 	}
 	for _, L := range lengths {
 		for _, size := range frameSizes {
-			for _, driver := range drivers {
-				if err := e6Run(t, L, size, packets, driver); err != nil {
+			for _, v := range e6Variants(drivers) {
+				if err := e6Run(t, L, size, packets, v); err != nil {
 					return nil, err
 				}
 			}
@@ -199,9 +236,105 @@ func E6ClickDataPlane(lengths []int, frameSizes []int, packets int, drivers ...c
 	return t, nil
 }
 
-// e6Run measures one (chain length, frame size, driver) cell.
-func e6Run(t *Table, L, size, packets int, driver click.DriverMode) error {
-	entry, exit, routers, err := chainOfRouters(L, driver)
+// E6Cell measures one (chain length, frame size, driver options) cell and
+// appends the row to t. The unit benchmarks reuse it to run a single
+// configuration without the full matrix.
+func E6Cell(t *Table, L, size, packets int, label string, opts click.Options) error {
+	return e6Run(t, L, size, packets, e6Variant{label: label, opts: opts})
+}
+
+// e6InflightCap bounds packets in flight across the whole chain. It is
+// below every queue and ring capacity (4096), so backpressure lives at
+// the harness and no queue tail-drops mid-measurement; it also pins the
+// packet pool's working set, which is what makes the post-warmup
+// allocation count a steady-state number.
+const e6InflightCap = 1024
+
+// e6Trace builds the flow-diverse traffic template: 64 UDP flows with
+// distinct source ports (so RSS sharding has something to hash), padded
+// or trimmed to the requested frame size.
+func e6Trace(size int) [][]byte {
+	const flows = 64
+	src := netip.MustParseAddr("10.0.0.1")
+	dst := netip.MustParseAddr("10.0.0.2")
+	var srcMAC, dstMAC pkt.MAC
+	copy(srcMAC[:], []byte{2, 0, 0, 0, 0, 1})
+	copy(dstMAC[:], []byte{2, 0, 0, 0, 0, 2})
+	out := make([][]byte, flows)
+	for i := range out {
+		payload := size - 42 // eth 14 + ipv4 20 + udp 8
+		if payload < 1 {
+			payload = 1
+		}
+		f, err := pkt.BuildUDP(srcMAC, dstMAC, src, dst, uint16(1000+i), 9, make([]byte, payload))
+		if err != nil || len(f) > size {
+			f = make([]byte, size)
+		}
+		for len(f) < size {
+			f = append(f, 0)
+		}
+		out[i] = f
+	}
+	return out
+}
+
+// e6Pump drives n packets through the chain from a single goroutine:
+// frames recycle through a free list (the ring path returns the very
+// buffers we sent, so steady state allocates nothing), the inflight cap
+// provides backpressure, and the deadline catches stalls. Bursts go in
+// through one EnqueueBatch publish, and recycled frames skip the
+// template copy — the chain forwards them unmodified, so they are still
+// valid flow frames; only freshly allocated buffers get stamped.
+func e6Pump(entry, exit *click.SPSCRing[[]byte], templates [][]byte, free *[][]byte, size, n int, deadline time.Time) error {
+	sent, recvd := 0, 0
+	drain := make([][]byte, 0, 256)
+	batch := make([][]byte, 0, 256)
+	empty := 0
+	for recvd < n {
+		batch = batch[:0]
+		for sent+len(batch) < n && sent+len(batch)-recvd < e6InflightCap && len(batch) < 256 {
+			var f []byte
+			if fl := *free; len(fl) > 0 {
+				f = fl[len(fl)-1]
+				*free = fl[:len(fl)-1]
+			} else {
+				f = make([]byte, size)
+				copy(f, templates[(sent+len(batch))%len(templates)])
+			}
+			batch = append(batch, f)
+		}
+		if len(batch) > 0 {
+			acc := entry.EnqueueBatch(batch)
+			sent += acc
+			*free = append(*free, batch[acc:]...)
+		}
+		drain = exit.DequeueBatch(drain[:0], 256)
+		if len(drain) == 0 {
+			// The deadline check costs a clock read; amortize it over
+			// many empty polls so it stays out of the measured path.
+			empty++
+			if empty%1024 == 0 && time.Now().After(deadline) {
+				return fmt.Errorf("experiments: E6 stalled at %d/%d", recvd, n)
+			}
+			runtime.Gosched()
+			continue
+		}
+		empty = 0
+		for _, f := range drain {
+			if len(f) == size {
+				*free = append(*free, f)
+			}
+		}
+		recvd += len(drain)
+	}
+	return nil
+}
+
+// e6Run measures one (chain length, frame size, variant) cell: a warmup
+// pass populates pools and rings, then the measured pass reports
+// throughput, per-packet time, and heap allocations per packet.
+func e6Run(t *Table, L, size, packets int, v e6Variant) error {
+	entry, exit, routers, err := chainOfRouters(L, v.opts)
 	if err != nil {
 		return err
 	}
@@ -210,43 +343,28 @@ func e6Run(t *Table, L, size, packets int, driver click.DriverMode) error {
 	for _, r := range routers {
 		go r.Run(ctx)
 	}
-	// The producer sends a fresh copy per packet: Packet.Data allows
-	// in-place mutation by elements, and a device may retain a frame it
-	// accepted, so one shared slice queued N times would let a mutating
-	// element corrupt frames still waiting upstream. The done channel
-	// keeps the producer from blocking forever on a full entry queue
-	// after a stall made the harness stop draining exit.
-	done := make(chan struct{})
-	defer close(done)
+	templates := e6Trace(size)
+	free := make([][]byte, 0, e6InflightCap)
+	deadline := time.Now().Add(30 * time.Second)
+	if err := e6Pump(entry, exit, templates, &free, size, packets, deadline); err != nil {
+		return fmt.Errorf("%w (warmup, driver=%s, L=%d)", err, v.label, L)
+	}
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
 	start := time.Now()
-	go func() {
-		frame := make([]byte, size)
-		for i := 0; i < packets; i++ {
-			select {
-			case entry <- append([]byte(nil), frame...):
-			case <-done:
-				return
-			}
-		}
-	}()
-	received := 0
-	timeout := time.After(30 * time.Second)
-	for received < packets {
-		select {
-		case <-exit:
-			received++
-		case <-timeout:
-			return fmt.Errorf("experiments: E6 %s stalled at %d/%d (L=%d)", driver, received, packets, L)
-		}
+	if err := e6Pump(entry, exit, templates, &free, size, packets, deadline); err != nil {
+		return fmt.Errorf("%w (driver=%s, L=%d)", err, v.label, L)
 	}
 	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
 	cancel()
 	for _, r := range routers {
 		r.Stop()
 	}
 	kpps := float64(packets) / elapsed.Seconds() / 1000
 	perPkt := elapsed / time.Duration(packets)
-	t.AddRow(fmt.Sprint(L), fmt.Sprint(size), driver.String(),
-		fmt.Sprintf("%.1f", kpps), us(perPkt))
+	allocsPerPkt := float64(m1.Mallocs-m0.Mallocs) / float64(packets)
+	t.AddRow(fmt.Sprint(L), fmt.Sprint(size), v.label,
+		fmt.Sprintf("%.1f", kpps), us(perPkt), fmt.Sprintf("%.2f", allocsPerPkt))
 	return nil
 }

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+)
+
+// E6Row is one machine-readable E6 measurement, the row schema of the
+// BENCH_E6.json CI artifact.
+type E6Row struct {
+	ChainLen     int     `json:"chain_len"`
+	FrameB       int     `json:"frame_b"`
+	Driver       string  `json:"driver"`
+	PPS          float64 `json:"pps"`
+	NsPerPkt     float64 `json:"ns_per_pkt"`
+	AllocsPerPkt float64 `json:"allocs_per_pkt"`
+}
+
+// E6JSON converts a rendered E6 table into its artifact rows.
+func E6JSON(t *Table) ([]E6Row, error) {
+	if len(t.Columns) < 6 {
+		return nil, fmt.Errorf("experiments: table %s does not have E6's column set", t.ID)
+	}
+	rows := make([]E6Row, 0, len(t.Rows))
+	for _, r := range t.Rows {
+		cl, err1 := strconv.Atoi(r[0])
+		fb, err2 := strconv.Atoi(r[1])
+		kpps, err3 := strconv.ParseFloat(r[3], 64)
+		usPkt, err4 := strconv.ParseFloat(r[4], 64)
+		allocs, err5 := strconv.ParseFloat(r[5], 64)
+		for _, err := range []error{err1, err2, err3, err4, err5} {
+			if err != nil {
+				return nil, fmt.Errorf("experiments: bad E6 row %v: %w", r, err)
+			}
+		}
+		rows = append(rows, E6Row{
+			ChainLen:     cl,
+			FrameB:       fb,
+			Driver:       r[2],
+			PPS:          kpps * 1000,
+			NsPerPkt:     usPkt * 1000,
+			AllocsPerPkt: allocs,
+		})
+	}
+	return rows, nil
+}
+
+// WriteE6JSON writes the E6 artifact file consumed by CI.
+func WriteE6JSON(t *Table, path string) error {
+	rows, err := E6JSON(t)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

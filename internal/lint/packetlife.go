@@ -110,8 +110,10 @@ func packetCreation(info *types.Info, stmt ast.Stmt) (*types.Var, *ast.CallExpr)
 	return nil, nil
 }
 
-// packetCreationCall reports whether e is exactly a click.NewPacket or
-// Packet.Clone call.
+// packetCreationCall reports whether e is exactly a click.NewPacket,
+// click.AdoptPacket or Packet.Clone call. AdoptPacket is the fused fast
+// path's zero-copy constructor: it takes a pool struct just like
+// NewPacket, so abandoning the result strands pool state the same way.
 func packetCreationCall(info *types.Info, e ast.Expr) *ast.CallExpr {
 	call, ok := ast.Unparen(e).(*ast.CallExpr)
 	if !ok {
@@ -121,7 +123,8 @@ func packetCreationCall(info *types.Info, e ast.Expr) *ast.CallExpr {
 	if obj == nil {
 		return nil
 	}
-	if isPkgFunc(obj, "click", "NewPacket") || isMethod(obj, "click", "Packet", "Clone") {
+	if isPkgFunc(obj, "click", "NewPacket") || isPkgFunc(obj, "click", "AdoptPacket") ||
+		isMethod(obj, "click", "Packet", "Clone") {
 		return call
 	}
 	return nil
