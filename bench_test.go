@@ -1,5 +1,5 @@
 // Package escape's root benchmarks regenerate every experiment of
-// EXPERIMENTS.md (one benchmark per table/figure, E1–E12). Run with:
+// EXPERIMENTS.md (one benchmark per table/figure, E1–E13). Run with:
 //
 //	go test -bench=. -benchmem
 //
@@ -249,5 +249,20 @@ func BenchmarkE12Admission(b *testing.B) {
 		}
 		tbl.Render(tableOut())
 		b.ReportMetric(lastFloat(tbl, 6), "adm/s@8k-opt-cached")
+	}
+}
+
+func BenchmarkE13ControlPlane(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.E13ControlPlane(2, 4, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tbl.Render(tableOut())
+		// Row 1 is the wal-replay phase; column 6 its recovery time.
+		if len(tbl.Rows) > 1 {
+			v, _ := strconv.ParseFloat(tbl.Rows[1][6], 64)
+			b.ReportMetric(v, "replay-ms")
+		}
 	}
 }

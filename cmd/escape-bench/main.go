@@ -1,5 +1,5 @@
 // Command escape-bench regenerates the evaluation tables of
-// EXPERIMENTS.md (E1–E12): workload generation, parameter sweeps,
+// EXPERIMENTS.md (E1–E13): workload generation, parameter sweeps,
 // baselines and result tables in one binary.
 //
 // Usage:
@@ -12,6 +12,7 @@
 //	escape-bench -e e10 -e10domains 4 -e10chain 3
 //	escape-bench -e e11 -e11kills 1,2 -e11chain 4
 //	escape-bench -e e12 -e12k 8,12 -e12conc 16,64
+//	escape-bench -e e13 -e13tenants 8 -e13intents 4 -e13json BENCH_E13.json
 //	escape-bench -quick          # reduced parameters (CI-friendly)
 //	escape-bench -e e12 -cpuprofile cpu.out -memprofile mem.out
 package main
@@ -67,6 +68,10 @@ func main() {
 	e12k := flag.String("e12k", "", "override E12 fat-tree sizes (even k), comma-separated")
 	e12conc := flag.String("e12conc", "", "override E12 admission concurrencies, comma-separated")
 	e12chain := flag.Int("e12chain", 3, "E12 chain length (NFs per service)")
+	e13tenants := flag.Int("e13tenants", 4, "E13 concurrent tenants")
+	e13intents := flag.Int("e13intents", 6, "E13 intents per tenant")
+	e13chain := flag.Int("e13chain", 2, "E13 chain length (NFs per intent)")
+	e13json := flag.String("e13json", "", "write E13 rows as JSON (BENCH_E13.json CI artifact) to this file")
 	quick := flag.Bool("quick", false, "reduced parameter sets")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after the selected experiments to this file")
@@ -91,7 +96,7 @@ func main() {
 
 	selected := map[string]bool{}
 	if *which == "all" {
-		for i := 1; i <= 12; i++ {
+		for i := 1; i <= 13; i++ {
 			selected[fmt.Sprintf("e%d", i)] = true
 		}
 	} else {
@@ -125,6 +130,8 @@ func main() {
 		e11conc = 2
 		e12ks = []int{4}
 		e12concs = []int{8}
+		*e13tenants = 2
+		*e13intents = 3
 	}
 	parseInts := func(flagName, s string) []int {
 		var out []int
@@ -178,6 +185,9 @@ func main() {
 		{"e12", func() (*experiments.Table, error) {
 			return experiments.E12Admission(e12ks, e12concs, *e12chain)
 		}},
+		{"e13", func() (*experiments.Table, error) {
+			return experiments.E13ControlPlane(*e13tenants, *e13intents, *e13chain)
+		}},
 	}
 	ran := 0
 	for _, e := range all {
@@ -194,6 +204,12 @@ func main() {
 				fatal(fmt.Errorf("e6json: %w", err))
 			}
 			fmt.Fprintf(os.Stderr, "escape-bench: wrote %s\n", *e6json)
+		}
+		if e.id == "e13" && *e13json != "" {
+			if err := experiments.WriteE13JSON(tbl, *e13json); err != nil {
+				fatal(fmt.Errorf("e13json: %w", err))
+			}
+			fmt.Fprintf(os.Stderr, "escape-bench: wrote %s\n", *e13json)
 		}
 		ran++
 	}

@@ -1,0 +1,93 @@
+// Package api is the multi-tenant control plane over the orchestration
+// layer: a versioned HTTP/JSON API (escaped) through which tenants
+// declare desired service graphs as durable intents, plus the
+// reconciliation controller that converges the orchestrator's actual
+// state toward them. Tenants authenticate with bearer tokens, are
+// confined to per-tenant resource quotas (enforced at admission time
+// through the resource view's commit gate) and disjoint VLAN tag
+// blocks, and are throttled by per-tenant token buckets in front of a
+// bounded admission queue.
+package api
+
+import (
+	"escape/internal/core"
+	"escape/internal/domain"
+	"escape/internal/sg"
+)
+
+// Backend is the slice of an orchestrator the control plane needs: the
+// reconciler deploys and undeploys through it and probes actual state
+// with Running/Deployed. Both the single-domain core orchestrator and
+// the hierarchical global orchestrator satisfy it via the adapters
+// below.
+type Backend interface {
+	// Deploy realizes a service graph end to end.
+	Deploy(g *sg.Graph) error
+	// Undeploy tears a running service down. Undeploying a name that is
+	// not deployed is an error (callers check Deployed first).
+	Undeploy(name string) error
+	// Deployed reports whether the name is registered at all (any
+	// lifecycle state, including a deploy still in flight).
+	Deployed(name string) bool
+	// Running reports whether the service is fully up and steered.
+	Running(name string) bool
+	// Services lists deployed service names (the reconciler's orphan
+	// sweep walks it).
+	Services() []string
+}
+
+// EventSource is the optional drift-detection hook: a backend that
+// publishes lifecycle events lets the reconciler react to failures
+// (e.g. a heal that gave up) instead of waiting for the next resync.
+type EventSource interface {
+	Subscribe(buf int) (<-chan core.Event, func())
+}
+
+// CoreBackend adapts *core.Orchestrator. It also implements
+// EventSource, so reconcilers over it get event-driven drift detection.
+type CoreBackend struct {
+	Orch *core.Orchestrator
+}
+
+func (b *CoreBackend) Deploy(g *sg.Graph) error {
+	_, err := b.Orch.Deploy(g)
+	return err
+}
+
+func (b *CoreBackend) Undeploy(name string) error { return b.Orch.Undeploy(name) }
+
+func (b *CoreBackend) Deployed(name string) bool { return b.Orch.Service(name) != nil }
+
+func (b *CoreBackend) Running(name string) bool {
+	svc := b.Orch.Service(name)
+	return svc != nil && svc.State() == core.StateRunning
+}
+
+func (b *CoreBackend) Services() []string { return b.Orch.Services() }
+
+func (b *CoreBackend) Subscribe(buf int) (<-chan core.Event, func()) {
+	return b.Orch.Subscribe(buf)
+}
+
+// DomainBackend adapts the hierarchical *domain.GlobalOrchestrator.
+// The global layer has no lifecycle event stream, so drift detection
+// over it falls back to resync-only.
+type DomainBackend struct {
+	Global *domain.GlobalOrchestrator
+}
+
+func (b *DomainBackend) Deploy(g *sg.Graph) error {
+	_, err := b.Global.Deploy(g)
+	return err
+}
+
+func (b *DomainBackend) Undeploy(name string) error { return b.Global.Undeploy(name) }
+
+func (b *DomainBackend) Deployed(name string) bool { return b.Global.Service(name) != nil }
+
+func (b *DomainBackend) Running(name string) bool {
+	svc := b.Global.Service(name)
+	return svc != nil && svc.Running()
+}
+
+func (b *DomainBackend) Services() []string { return b.Global.Services() }

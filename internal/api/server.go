@@ -1,0 +1,447 @@
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"escape/internal/catalog"
+	"escape/internal/sg"
+)
+
+// ServerConfig wires the HTTP layer to its collaborators.
+type ServerConfig struct {
+	Store      *Store
+	Backend    Backend
+	Reconciler *Reconciler
+	Gate       *QuotaGate
+	Metrics    *Metrics
+	// Catalog enables the advisory fast-path quota pre-check on POST
+	// (the authoritative check is the commit gate).
+	Catalog *catalog.Catalog
+	// AdminToken authorizes tenant management. Empty disables the
+	// tenant-management endpoints entirely.
+	AdminToken string
+	// QueueSlots bounds concurrently admitted /v1 requests; a request
+	// arriving with every slot taken is rejected 429 + Retry-After
+	// instead of piling up (default 64).
+	QueueSlots int
+	// Rate/Burst shape the per-tenant token bucket (requests/sec;
+	// rate 0 disables limiting).
+	Rate, Burst float64
+	Log         *slog.Logger
+}
+
+// Server is the escaped HTTP/JSON control plane: versioned REST over
+// the intent store, with bearer auth, per-tenant rate limiting and a
+// bounded admission queue in front.
+type Server struct {
+	cfg ServerConfig
+	mux *http.ServeMux
+	sem chan struct{}
+	rl  *RateLimiter
+	log *slog.Logger
+}
+
+// NewServer builds the server and loads stored tenants into the quota
+// gate (the recovery half of tenant durability).
+func NewServer(cfg ServerConfig) *Server {
+	if cfg.Metrics == nil {
+		cfg.Metrics = &Metrics{}
+	}
+	if cfg.QueueSlots <= 0 {
+		cfg.QueueSlots = 64
+	}
+	if cfg.Log == nil {
+		cfg.Log = slog.Default()
+	}
+	s := &Server{
+		cfg: cfg,
+		mux: http.NewServeMux(),
+		sem: make(chan struct{}, cfg.QueueSlots),
+		rl:  NewRateLimiter(cfg.Rate, cfg.Burst),
+		log: cfg.Log,
+	}
+	if cfg.Gate != nil {
+		for _, t := range cfg.Store.Tenants() {
+			cfg.Gate.SetTenant(t)
+		}
+	}
+	s.routes()
+	return s
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	s.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		s.cfg.Metrics.WriteTo(w)
+	})
+	s.mux.HandleFunc("POST /v1/tenants", s.admin(s.handleCreateTenant))
+	s.mux.HandleFunc("GET /v1/tenants", s.admin(s.handleListTenants))
+	s.mux.HandleFunc("POST /v1/intents", s.queued(s.tenant(s.handlePostIntent)))
+	s.mux.HandleFunc("GET /v1/intents", s.queued(s.tenant(s.handleListIntents)))
+	s.mux.HandleFunc("GET /v1/intents/{service}", s.queued(s.tenant(s.handleGetIntent)))
+	s.mux.HandleFunc("DELETE /v1/intents/{service}", s.queued(s.tenant(s.handleDeleteIntent)))
+}
+
+// Handler returns the full middleware stack.
+func (s *Server) Handler() http.Handler { return s.logged(s.mux) }
+
+// statusWriter captures the response code for the request log.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// logged is the outermost middleware: metrics + structured request log.
+func (s *Server) logged(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		s.cfg.Metrics.RequestsTotal.Add(1)
+		if sw.code >= 500 {
+			s.cfg.Metrics.RequestErrors.Add(1)
+		}
+		s.log.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.code,
+			"duration_ms", float64(time.Since(start).Microseconds())/1000,
+			"remote", r.RemoteAddr,
+		)
+	})
+}
+
+// queued applies the bounded admission queue: acquire a slot or shed
+// load with 429 + Retry-After. Requests never pile up past QueueSlots.
+func (s *Server) queued(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.sem <- struct{}{}:
+			s.cfg.Metrics.QueueDepth.Add(1)
+			defer func() {
+				s.cfg.Metrics.QueueDepth.Add(-1)
+				<-s.sem
+			}()
+			next(w, r)
+		default:
+			s.cfg.Metrics.Rejected429.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, http.StatusTooManyRequests, "admission queue full")
+		}
+	}
+}
+
+// bearer extracts the Authorization bearer token.
+func bearer(r *http.Request) string {
+	h := r.Header.Get("Authorization")
+	if tok, ok := strings.CutPrefix(h, "Bearer "); ok {
+		return tok
+	}
+	return ""
+}
+
+// admin guards tenant-management endpoints with the admin token.
+func (s *Server) admin(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.cfg.AdminToken == "" || bearer(r) != s.cfg.AdminToken {
+			s.cfg.Metrics.AuthFailures.Add(1)
+			writeErr(w, http.StatusUnauthorized, "admin token required")
+			return
+		}
+		next(w, r)
+	}
+}
+
+// tenantHandler receives the authenticated tenant.
+type tenantHandler func(w http.ResponseWriter, r *http.Request, t *Tenant)
+
+// tenant authenticates the bearer token against the store and applies
+// the per-tenant rate limit.
+func (s *Server) tenant(next tenantHandler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		tok := bearer(r)
+		if tok == "" {
+			s.cfg.Metrics.AuthFailures.Add(1)
+			writeErr(w, http.StatusUnauthorized, "bearer token required")
+			return
+		}
+		t := s.cfg.Store.TenantByToken(tok)
+		if t == nil {
+			s.cfg.Metrics.AuthFailures.Add(1)
+			writeErr(w, http.StatusUnauthorized, "unknown token")
+			return
+		}
+		if ok, retry := s.rl.Allow(t.Name); !ok {
+			s.cfg.Metrics.Rejected429.Add(1)
+			secs := int(retry/time.Second) + 1
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			writeErr(w, http.StatusTooManyRequests, "rate limit exceeded")
+			return
+		}
+		next(w, r, t)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+// --- tenant management -------------------------------------------------
+
+type createTenantReq struct {
+	Name  string `json:"name"`
+	Quota Quota  `json:"quota"`
+}
+
+func (s *Server) handleCreateTenant(w http.ResponseWriter, r *http.Request) {
+	var req createTenantReq
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad body: "+err.Error())
+		return
+	}
+	if req.Name == "" || strings.ContainsAny(req.Name, "/ \t") {
+		writeErr(w, http.StatusBadRequest, "tenant name must be non-empty and contain no '/' or spaces")
+		return
+	}
+	t, err := s.cfg.Store.CreateTenant(req.Name, req.Quota)
+	if err != nil {
+		writeErr(w, http.StatusConflict, err.Error())
+		return
+	}
+	if s.cfg.Gate != nil {
+		s.cfg.Gate.SetTenant(t)
+	}
+	writeJSON(w, http.StatusCreated, t)
+}
+
+func (s *Server) handleListTenants(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.cfg.Store.Tenants())
+}
+
+// --- intents -----------------------------------------------------------
+
+type postIntentReq struct {
+	Graph json.RawMessage `json:"graph"`
+}
+
+// intentStatus is the wire form of an intent plus live state.
+type intentStatus struct {
+	*Intent
+	Running   bool   `json:"running"`
+	LastError string `json:"last_error,omitempty"`
+}
+
+func (s *Server) status(in *Intent) intentStatus {
+	st := intentStatus{Intent: in, Running: s.cfg.Backend.Running(in.ID)}
+	if s.cfg.Reconciler != nil {
+		st.LastError = s.cfg.Reconciler.LastError(in.ID)
+	}
+	return st
+}
+
+// graphDemandOf estimates a graph's aggregate demand for the advisory
+// pre-check (catalog defaults applied; requirement-raised bandwidth is
+// only known after mapping, so this can under- but never over-count).
+func graphDemandOf(g *sg.Graph, cat *catalog.Catalog) (cpu float64, mem int, bw float64) {
+	for _, nf := range g.NFs {
+		c, m := nf.CPU, nf.Mem
+		if cat != nil {
+			if t, err := cat.Lookup(nf.Type); err == nil {
+				if c == 0 {
+					c = t.DefaultCPU
+				}
+				if m == 0 {
+					m = t.DefaultMem
+				}
+			}
+		}
+		cpu += c
+		mem += m
+	}
+	for _, l := range g.Links {
+		bw += l.Bandwidth
+	}
+	return cpu, mem, bw
+}
+
+// precheckQuota rejects requests that already cannot fit the tenant's
+// quota, before any durable state is written. The commit gate remains
+// the authoritative enforcement point.
+func (s *Server) precheckQuota(t *Tenant, g *sg.Graph) error {
+	if s.cfg.Gate == nil {
+		return nil
+	}
+	cpu, mem, bw := graphDemandOf(g, s.cfg.Catalog)
+	uCPU, uMem, uBW, uSvc := s.cfg.Gate.Usage(t.Name)
+	q := t.Quota
+	switch {
+	case q.CPU > 0 && uCPU+cpu > q.CPU+1e-9:
+		return &QuotaError{Tenant: t.Name, Dim: "cpu", Want: uCPU + cpu, Limit: q.CPU}
+	case q.Mem > 0 && uMem+mem > q.Mem:
+		return &QuotaError{Tenant: t.Name, Dim: "mem", Want: float64(uMem + mem), Limit: float64(q.Mem)}
+	case q.BW > 0 && uBW+bw > q.BW+1e-9:
+		return &QuotaError{Tenant: t.Name, Dim: "bw", Want: uBW + bw, Limit: q.BW}
+	case q.Services > 0 && uSvc+1 > q.Services:
+		return &QuotaError{Tenant: t.Name, Dim: "services", Want: float64(uSvc + 1), Limit: float64(q.Services)}
+	}
+	return nil
+}
+
+func (s *Server) handlePostIntent(w http.ResponseWriter, r *http.Request, t *Tenant) {
+	var req postIntentReq
+	if err := json.NewDecoder(io.LimitReader(r.Body, 4<<20)).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad body: "+err.Error())
+		return
+	}
+	if len(req.Graph) == 0 {
+		writeErr(w, http.StatusBadRequest, "missing graph")
+		return
+	}
+	g, err := sg.FromJSON(req.Graph)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid graph: "+err.Error())
+		return
+	}
+	if g.Name == "" || strings.ContainsRune(g.Name, '/') {
+		writeErr(w, http.StatusBadRequest, "graph name must be non-empty and tenant-local (no '/')")
+		return
+	}
+	if err := t.CheckGraphTags(g); err != nil {
+		writeErr(w, http.StatusForbidden, err.Error())
+		return
+	}
+	service := g.Name
+	g.Name = ServiceName(t.Name, service)
+	canon, err := g.ToJSON()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	_, canonRaw, hash, err := CanonicalGraph(canon)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	id := g.Name
+
+	// Idempotency: the same desired graph is acknowledged, not
+	// re-admitted — no second intent, no second quota reservation.
+	if prev := s.cfg.Store.Intent(id); prev != nil {
+		if prev.Hash == hash && prev.Desired == DesiredRun {
+			s.cfg.Metrics.IntentsIdemHit.Add(1)
+			s.finishIntent(w, r, prev, http.StatusOK)
+			return
+		}
+		if prev.Desired == DesiredRun {
+			writeErr(w, http.StatusConflict, fmt.Sprintf("intent %q exists with a different graph (delete it first)", id))
+			return
+		}
+		// Desired removed: fall through and revive with the new graph.
+	}
+
+	if err := s.precheckQuota(t, g); err != nil {
+		s.cfg.Metrics.QuotaRejections.Add(1)
+		writeErr(w, http.StatusForbidden, err.Error())
+		return
+	}
+
+	in := &Intent{
+		ID:      id,
+		Tenant:  t.Name,
+		Service: service,
+		Graph:   canonRaw,
+		Hash:    hash,
+		Desired: DesiredRun,
+	}
+	if err := s.cfg.Store.PutIntent(in, time.Now()); err != nil {
+		writeErr(w, http.StatusInternalServerError, "persist: "+err.Error())
+		return
+	}
+	s.cfg.Metrics.IntentsAdmitted.Add(1)
+	if s.cfg.Reconciler != nil {
+		s.cfg.Reconciler.Enqueue(id)
+	}
+	s.finishIntent(w, r, in, http.StatusAccepted)
+}
+
+// finishIntent replies with the intent's status, optionally blocking
+// (?wait=<dur>) until the reconciler converged it or the wait expired.
+func (s *Server) finishIntent(w http.ResponseWriter, r *http.Request, in *Intent, code int) {
+	if waitStr := r.URL.Query().Get("wait"); waitStr != "" {
+		d, err := time.ParseDuration(waitStr)
+		if err != nil || d <= 0 || d > 2*time.Minute {
+			d = 30 * time.Second
+		}
+		deadline := time.Now().Add(d)
+		for time.Now().Before(deadline) {
+			if s.cfg.Backend.Running(in.ID) {
+				break
+			}
+			if s.cfg.Reconciler != nil && s.cfg.Reconciler.LastError(in.ID) != "" {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		code = http.StatusOK
+	}
+	writeJSON(w, code, s.status(in))
+}
+
+func (s *Server) handleListIntents(w http.ResponseWriter, r *http.Request, t *Tenant) {
+	ins := s.cfg.Store.Intents(t.Name)
+	out := make([]intentStatus, 0, len(ins))
+	for _, in := range ins {
+		out = append(out, s.status(in))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleGetIntent(w http.ResponseWriter, r *http.Request, t *Tenant) {
+	id := ServiceName(t.Name, r.PathValue("service"))
+	in := s.cfg.Store.Intent(id)
+	if in == nil {
+		writeErr(w, http.StatusNotFound, "no such intent")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.status(in))
+}
+
+func (s *Server) handleDeleteIntent(w http.ResponseWriter, r *http.Request, t *Tenant) {
+	id := ServiceName(t.Name, r.PathValue("service"))
+	in := s.cfg.Store.Intent(id)
+	if in == nil {
+		writeErr(w, http.StatusNotFound, "no such intent")
+		return
+	}
+	upd := *in
+	upd.Desired = DesiredRemoved
+	if err := s.cfg.Store.PutIntent(&upd, time.Now()); err != nil {
+		writeErr(w, http.StatusInternalServerError, "persist: "+err.Error())
+		return
+	}
+	if s.cfg.Reconciler != nil {
+		s.cfg.Reconciler.Enqueue(id)
+	}
+	writeJSON(w, http.StatusAccepted, s.status(&upd))
+}

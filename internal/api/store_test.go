@@ -1,0 +1,198 @@
+package api
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"escape/internal/sg"
+)
+
+func testIntent(t *testing.T, tenant, service string) *Intent {
+	t.Helper()
+	g := sg.NewChainGraph(service, "monitor")
+	g.Name = ServiceName(tenant, service)
+	raw, err := g.ToJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, canon, hash, err := CanonicalGraph(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Intent{
+		ID:      g.Name,
+		Tenant:  tenant,
+		Service: service,
+		Graph:   canon,
+		Hash:    hash,
+		Desired: DesiredRun,
+	}
+}
+
+func TestStoreReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ten, err := s.CreateTenant("acme", Quota{CPU: 4, Services: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ten.Token == "" || ten.VLANBase != sg.MinStitchTag {
+		t.Fatalf("tenant = %+v, want token and first VLAN block", ten)
+	}
+	now := time.Now()
+	for _, svc := range []string{"web", "db", "cache"} {
+		if err := s.PutIntent(testIntent(t, "acme", svc), now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Forget("acme/cache"); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if n, torn := s2.Replayed(); n != 5 || torn {
+		t.Errorf("replayed = (%d, torn=%v), want (5, false)", n, torn)
+	}
+	got := s2.Intents("acme")
+	if len(got) != 2 || got[0].ID != "acme/db" || got[1].ID != "acme/web" {
+		t.Fatalf("intents after replay = %+v", got)
+	}
+	want := s.Intent("acme/web")
+	have := s2.Intent("acme/web")
+	if have.Hash != want.Hash || string(have.Graph) != string(want.Graph) || have.Desired != DesiredRun {
+		t.Errorf("replayed intent diverged: %+v vs %+v", have, want)
+	}
+	t2 := s2.TenantByToken(ten.Token)
+	if t2 == nil || t2.Name != "acme" || t2.Quota != ten.Quota || t2.VLANBase != ten.VLANBase {
+		t.Errorf("tenant after replay = %+v, want %+v", t2, ten)
+	}
+}
+
+func TestStoreTornTailDropped(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutIntent(testIntent(t, "a", "one"), time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutIntent(testIntent(t, "a", "two"), time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Simulate a crash mid-append: a half-written final record.
+	f, err := os.OpenFile(filepath.Join(dir, "wal.log"), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"seq":99,"op":"intent","intent":{"id":"a/to`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	n, torn := s2.Replayed()
+	if !torn {
+		t.Error("torn tail not detected")
+	}
+	if n != 2 {
+		t.Errorf("replayed %d records, want 2", n)
+	}
+	if len(s2.Intents("")) != 2 {
+		t.Errorf("intents = %v, want the 2 complete ones", s2.Intents(""))
+	}
+	// The store must still accept appends after recovering a torn log.
+	if err := s2.PutIntent(testIntent(t, "a", "three"), time.Now()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreSnapshotTruncatesWAL(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.every = 4 // snapshot every 4 appends
+	now := time.Now()
+	for _, svc := range []string{"a", "b", "c", "d", "e"} {
+		if err := s.PutIntent(testIntent(t, "t", svc), now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 5 appends with every=4: snapshot fired at the 4th, leaving one
+	// record in the WAL.
+	raw, err := os.ReadFile(filepath.Join(dir, "snapshot.json"))
+	if err != nil {
+		t.Fatalf("snapshot not written: %v", err)
+	}
+	var snap snapshotFile
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Seq != 4 || len(snap.Intents) != 4 {
+		t.Errorf("snapshot seq=%d intents=%d, want 4/4", snap.Seq, len(snap.Intents))
+	}
+	s.Close()
+
+	s2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if n, _ := s2.Replayed(); n != 1 {
+		t.Errorf("replayed %d WAL records on top of snapshot, want 1", n)
+	}
+	if len(s2.Intents("")) != 5 {
+		t.Errorf("intents after snapshot+WAL replay = %d, want 5", len(s2.Intents("")))
+	}
+}
+
+func TestVLANBlocksDisjoint(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	seen := map[int]string{}
+	for _, name := range []string{"t1", "t2", "t3"} {
+		ten, err := s.CreateTenant(name, Quota{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo, hi := ten.VLANRange()
+		if lo < sg.MinStitchTag || hi > sg.MaxStitchTag {
+			t.Errorf("tenant %s block [%d,%d] outside stitch range", name, lo, hi)
+		}
+		for tag := lo; tag <= hi; tag++ {
+			if owner, dup := seen[tag]; dup {
+				t.Fatalf("tag %d owned by both %s and %s", tag, owner, name)
+			}
+			seen[tag] = name
+		}
+	}
+	// Tag membership follows the blocks.
+	t1 := s.TenantByName("t1")
+	t2 := s.TenantByName("t2")
+	if !t1.ownsTag(t1.VLANBase) || t1.ownsTag(t2.VLANBase) {
+		t.Error("ownsTag does not respect block boundaries")
+	}
+}

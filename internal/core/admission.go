@@ -99,7 +99,11 @@ func (rv *ResourceView) AdmitAndCommit(m Mapper, g *sg.Graph) (*Mapping, error) 
 		if err != nil {
 			return nil, err
 		}
-		if rv.tryCommit(mapping) {
+		ok, err := rv.tryCommit(mapping)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
 			rv.stats.admitted.Add(1)
 			return mapping, nil
 		}
@@ -122,7 +126,11 @@ func (rv *ResourceView) mapValidateCommit(m Mapper, g *sg.Graph) (*Mapping, erro
 		if err != nil {
 			return nil, err
 		}
-		if rv.tryCommit(mapping) {
+		ok, err := rv.tryCommit(mapping)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
 			rv.stats.admitted.Add(1)
 			return mapping, nil
 		}
@@ -134,8 +142,11 @@ func (rv *ResourceView) mapValidateCommit(m Mapper, g *sg.Graph) (*Mapping, erro
 
 // tryCommit validates a mapping against the current epoch — only the
 // resources it touches — and publishes the commit if everything still
-// fits. The float tolerance mirrors the conformance suite's.
-func (rv *ResourceView) tryCommit(m *Mapping) bool {
+// fits. A false return with nil error is a validation conflict (re-map
+// and retry); a non-nil error is a permanent commit-gate rejection (e.g.
+// a tenant over quota) that retrying cannot fix. The float tolerance
+// mirrors the conformance suite's.
+func (rv *ResourceView) tryCommit(m *Mapping) (bool, error) {
 	rv.buildTopoIndex()
 	rv.mu.Lock()
 	defer rv.mu.Unlock()
@@ -170,26 +181,31 @@ func (rv *ResourceView) tryCommit(m *Mapping) bool {
 	for ee, add := range cpuAdd {
 		res := rv.EEs[ee]
 		if res == nil || cur.excludedEE(ee) {
-			return false
+			return false, nil
 		}
 		if cur.cpu(ee)+add > res.CPU+1e-9 || cur.mem(ee)+memAdd[ee] > res.Mem {
-			return false
+			return false, nil
 		}
 	}
 	for k := range linksUsed {
 		if cur.excludedLink(k) {
-			return false
+			return false, nil
 		}
 		if rv.linkIdx[k] == nil {
-			return false
+			return false, nil
 		}
 	}
 	for k, add := range bwAdd {
 		if cur.bw(k)+add > rv.linkIdx[k].Bandwidth+1e-9 {
-			return false
+			return false, nil
 		}
 	}
 
+	if rv.gate != nil {
+		if err := rv.gate.Admit(m); err != nil {
+			return false, err
+		}
+	}
 	rv.publish(func(mu *mutation) { applyMapping(mu, m, 1) })
-	return true
+	return true, nil
 }

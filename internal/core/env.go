@@ -178,9 +178,11 @@ func (e *Environment) Host(name string) *netem.Host {
 	return h
 }
 
-// Close tears the whole environment down.
+// Close tears the whole environment down. The orchestrator is drained
+// first (Shutdown): deploys still in flight cancel and roll back rather
+// than racing the substrate teardown below.
 func (e *Environment) Close() {
-	e.Orch.Close()
+	e.Orch.Shutdown()
 	for _, a := range e.Agents {
 		a.Close()
 	}

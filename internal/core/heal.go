@@ -335,6 +335,10 @@ type HealReport struct {
 // Heal and Undeploy serialize per service, so a service can never be
 // torn down mid-migration.
 func (o *Orchestrator) Heal(name string, eeDown func(string) bool, linkDown func(a, b string) bool) (*HealReport, error) {
+	if err := o.beginOp(); err != nil {
+		return nil, err
+	}
+	defer o.inflight.Done()
 	svc := o.Service(name)
 	if svc == nil {
 		return nil, fmt.Errorf("core: service %q not deployed", name)

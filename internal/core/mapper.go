@@ -60,6 +60,27 @@ func nfDemandWith(cat *catalog.Catalog, nf *sg.NF) (float64, int) {
 	return cpu, mem
 }
 
+// GraphDemand sums the mapping's graph-level resource demand: CPU and
+// memory over every placed NF (catalog defaults applied) and bandwidth
+// over every SG link's effective demand. It is placement-independent —
+// healing moves a service without changing it — which is what makes it
+// the right unit for per-tenant quota accounting (see CommitGate).
+func (m *Mapping) GraphDemand() (cpu float64, mem int, bw float64) {
+	for nfID := range m.Placements {
+		if nf := m.Graph.NF(nfID); nf != nil {
+			c, mm := m.nfDemand(nf)
+			cpu += c
+			mem += mm
+		}
+	}
+	for linkID := range m.Routes {
+		if l := m.Graph.Link(linkID); l != nil {
+			bw += m.linkDemand(l)
+		}
+	}
+	return cpu, mem, bw
+}
+
 // TotalHops sums route lengths (in links) over all SG links: the
 // path-stretch metric reported by experiment E4.
 func (m *Mapping) TotalHops() int {

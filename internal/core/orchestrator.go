@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"log"
 	"runtime"
@@ -59,6 +60,48 @@ type Orchestrator struct {
 	subMu   sync.Mutex
 	subs    map[int]chan Event
 	nextSub int
+
+	// closing flips once on Shutdown: new operations fail fast and
+	// in-flight deploys cancel at their next phase/NF boundary. shutMu
+	// orders inflight.Add against Shutdown's Wait (no Add may race a
+	// Wait that could observe zero).
+	closing  atomic.Bool
+	shutMu   sync.Mutex
+	inflight sync.WaitGroup
+}
+
+// ErrShuttingDown is returned by Deploy/Undeploy/Heal once Shutdown has
+// begun, and is the failure cause of deploys cancelled mid-flight by it.
+var ErrShuttingDown = errors.New("core: orchestrator shutting down")
+
+// beginOp registers an in-flight operation, refusing once Shutdown has
+// started. Every success must be paired with o.inflight.Done().
+func (o *Orchestrator) beginOp() error {
+	o.shutMu.Lock()
+	defer o.shutMu.Unlock()
+	if o.closing.Load() {
+		return ErrShuttingDown
+	}
+	o.inflight.Add(1)
+	return nil
+}
+
+// Shutdown drains the orchestrator: subsequent Deploy/Undeploy/Heal
+// calls fail fast with ErrShuttingDown, deploys already in flight cancel
+// at their next phase or per-NF boundary and roll back cleanly (their
+// services end Failed with resources released — never stuck in
+// Realizing/Steering), and the management session pools close once the
+// last operation has drained. Running services keep running; their
+// committed resources stay in the view. Idempotent.
+func (o *Orchestrator) Shutdown() {
+	o.shutMu.Lock()
+	already := o.closing.Swap(true)
+	o.shutMu.Unlock()
+	if already {
+		return
+	}
+	o.inflight.Wait()
+	o.Close()
 }
 
 // New creates an orchestrator.
@@ -232,6 +275,10 @@ func (o *Orchestrator) unregister(svc *Service) {
 // conflict — non-contending deploys never serialize), realization fans
 // out across EEs, and steering lands as one batch.
 func (o *Orchestrator) Deploy(g *sg.Graph) (*Service, error) {
+	if err := o.beginOp(); err != nil {
+		return nil, err
+	}
+	defer o.inflight.Done()
 	svc, err := o.reserve(g)
 	if err != nil {
 		return nil, err
@@ -320,6 +367,13 @@ func (o *Orchestrator) realize(svc *Service, g *sg.Graph, mapping *Mapping) erro
 				if stop.Load() {
 					return
 				}
+				// A shutdown cancels mid-realization: the deploy fails
+				// here and rolls back via teardown, so the service can
+				// never be left stuck in Realizing.
+				if o.closing.Load() {
+					record(fmt.Errorf("core: realizing %q: %w", svc.Name, ErrShuttingDown))
+					return
+				}
 				if err := o.realizeNF(svc, g, mapping, nfID, ee); err != nil {
 					record(err)
 					return
@@ -389,6 +443,10 @@ func (o *Orchestrator) realizeNF(svc *Service, g *sg.Graph, mapping *Mapping, nf
 // whole set in one batched push (or link by link in PerPathSteering
 // mode, the E9 ablation).
 func (o *Orchestrator) steer(svc *Service, g *sg.Graph, mapping *Mapping) error {
+	// Cancel at the phase boundary on shutdown (the deploy rolls back).
+	if o.closing.Load() {
+		return fmt.Errorf("core: steering %q: %w", svc.Name, ErrShuttingDown)
+	}
 	linkIDs := make([]string, 0, len(mapping.Routes))
 	for id := range mapping.Routes {
 		linkIDs = append(linkIDs, id)
@@ -498,6 +556,10 @@ func (o *Orchestrator) attachPort(svc *Service, ep sg.Endpoint, dst bool) (uint1
 // with Heal per service (opMu), so it can never race a migration: it
 // waits for an in-flight heal and then tears down the healed service.
 func (o *Orchestrator) Undeploy(name string) error {
+	if err := o.beginOp(); err != nil {
+		return err
+	}
+	defer o.inflight.Done()
 	o.mu.Lock()
 	svc := o.services[name]
 	o.mu.Unlock()

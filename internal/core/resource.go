@@ -10,8 +10,11 @@
 package core
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -94,6 +97,38 @@ type ResourceView struct {
 	// mask-free — safe to cache forever).
 	hopMu   sync.Mutex
 	hopDist map[string]map[string]int
+
+	// gate, when set, vets every validated commit and observes every
+	// release (multi-tenant quota accounting layered on the view). Read
+	// and invoked only under mu.
+	gate CommitGate
+}
+
+// CommitGate layers an admission policy on top of capacity validation:
+// Admit is called under the view's write lock after a mapping has been
+// validated against the current epoch and immediately before its commit
+// epoch publishes — returning an error rejects the admission permanently
+// (no optimistic retry; the error surfaces from AdmitAndCommit). Released
+// is called under the same lock after a Release epoch publishes, so a
+// gate's own accounting stays exactly in step with the committed state.
+// Heal deltas (AdmitHeal) move a service without changing its graph-level
+// demand and bypass the gate, as does the unconditional Commit used for
+// replaying known-good mappings.
+//
+// Implementations must be fast and must not call back into the view.
+type CommitGate interface {
+	Admit(m *Mapping) error
+	Released(m *Mapping)
+}
+
+// SetCommitGate installs the admission gate (nil removes it). Install it
+// before serving traffic: mappings admitted while no gate was set are
+// still observed by Released on teardown, so gates must tolerate releases
+// they never admitted.
+func (rv *ResourceView) SetCommitGate(g CommitGate) {
+	rv.mu.Lock()
+	rv.gate = g
+	rv.mu.Unlock()
 }
 
 type linkKey struct{ a, b string }
@@ -900,6 +935,9 @@ func (rv *ResourceView) Release(m *Mapping) {
 	rv.mu.Lock()
 	defer rv.mu.Unlock()
 	rv.publish(func(mu *mutation) { applyMapping(mu, m, -1) })
+	if rv.gate != nil {
+		rv.gate.Released(m)
+	}
 }
 
 // applyMapping folds a mapping's demands into a mutation with the given
@@ -937,4 +975,50 @@ func (rv *ResourceView) Committed(ee string) (cpu float64, mem int) {
 // switches.
 func (rv *ResourceView) CommittedBW(a, b string) float64 {
 	return rv.state.Load().bw(mkLinkKey(a, b))
+}
+
+// Fingerprint digests the committed state of the current epoch — per-EE
+// CPU/mem, per-link bandwidth and the exclusion masks, in sorted key
+// order, zero/unmasked entries skipped. Two views over the same topology
+// whose committed accounting is bit-identical produce the same
+// fingerprint regardless of epoch history, so crash-recovery replay can
+// assert it restored exactly the committed view it lost.
+func (rv *ResourceView) Fingerprint() string {
+	s := rv.state.Load()
+	h := sha256.New()
+	for _, ee := range rv.EENames() {
+		if v := s.cpu(ee); v != 0 {
+			fmt.Fprintf(h, "cpu %s %s\n", ee, strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		if v := s.mem(ee); v != 0 {
+			fmt.Fprintf(h, "mem %s %d\n", ee, v)
+		}
+		if s.excludedEE(ee) {
+			fmt.Fprintf(h, "excl-ee %s\n", ee)
+		}
+	}
+	keys := make([]linkKey, 0, len(rv.Links))
+	seen := map[linkKey]bool{}
+	for _, l := range rv.Links {
+		k := mkLinkKey(l.A, l.B)
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].a != keys[j].a {
+			return keys[i].a < keys[j].a
+		}
+		return keys[i].b < keys[j].b
+	})
+	for _, k := range keys {
+		if v := s.bw(k); v != 0 {
+			fmt.Fprintf(h, "bw %s %s %s\n", k.a, k.b, strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		if s.excludedLink(k) {
+			fmt.Fprintf(h, "excl-link %s %s\n", k.a, k.b)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }

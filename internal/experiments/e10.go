@@ -76,19 +76,10 @@ func e10Pump(env *domain.Environment, src, dst, payload string) error {
 	if err != nil {
 		return err
 	}
-	deadline := time.Now().Add(10 * time.Second)
-	for time.Now().Before(deadline) {
-		hs.Send(frame)
-		select {
-		case rx := <-hd.Recv():
-			dec := pkt.Decode(rx.Frame)
-			if u, ok := dec.Layer(pkt.LayerTypeUDP).(*pkt.UDP); ok && string(u.Payload()) == payload {
-				return nil
-			}
-		case <-time.After(100 * time.Millisecond):
-		}
+	if _, err := pumpFrame(hs, hd, frame, payload, 10*time.Second); err != nil {
+		return fmt.Errorf("experiments: E10 payload never delivered %s→%s", src, dst)
 	}
-	return fmt.Errorf("experiments: E10 payload never delivered %s→%s", src, dst)
+	return nil
 }
 
 // E10MultiDomain measures hierarchical (global → per-domain) against flat

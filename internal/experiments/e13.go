@@ -1,0 +1,358 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"escape/internal/api"
+	"escape/internal/catalog"
+	"escape/internal/core"
+	"escape/internal/sg"
+)
+
+// e13Stack is one running control-plane instance: embedded ESCAPE
+// environment, durable intent store, quota gate wired into the
+// resource view, reconciler and the HTTP API in front.
+type e13Stack struct {
+	env   *core.Environment
+	store *api.Store
+	gate  *api.QuotaGate
+	rec   *api.Reconciler
+	ts    *httptest.Server
+}
+
+// e13Start boots a stack against dataDir. The substrate is sized so
+// admission never rejects the full tenant load (each monitor costs
+// 0.1 CPU / 32 MB from the catalog).
+func e13Start(dataDir string, tenants, intentsPer, chainLen int) (*e13Stack, error) {
+	nfs := tenants * intentsPer * chainLen
+	spec := core.TopoSpec{
+		Switches: []string{"s1", "s2"},
+		Hosts:    map[string]string{},
+		EEs: map[string]core.EESpec{
+			"ee1": {Switch: "s1", CPU: float64(nfs)*0.1/2 + 1, Mem: nfs*32/2 + 256},
+			"ee2": {Switch: "s2", CPU: float64(nfs)*0.1/2 + 1, Mem: nfs*32/2 + 256},
+		},
+		Trunks: []core.TrunkSpec{{A: "s1", B: "s2"}},
+	}
+	for i := 0; i < tenants*intentsPer; i++ {
+		spec.Hosts[fmt.Sprintf("h%da", i)] = "s1"
+		spec.Hosts[fmt.Sprintf("h%db", i)] = "s2"
+	}
+	env, err := core.StartEnvironment(spec)
+	if err != nil {
+		return nil, err
+	}
+	gate := api.NewQuotaGate()
+	env.View.SetCommitGate(gate)
+	store, err := api.OpenStore(dataDir)
+	if err != nil {
+		env.Close()
+		return nil, err
+	}
+	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+	backend := &api.CoreBackend{Orch: env.Orch}
+	rec := &api.Reconciler{Store: store, Backend: backend, Workers: 4, Resync: 250 * time.Millisecond, Log: quiet}
+	rec.Start()
+	srv := api.NewServer(api.ServerConfig{
+		Store: store, Backend: backend, Reconciler: rec, Gate: gate,
+		Catalog: catalog.Default(), AdminToken: "root", Log: quiet,
+	})
+	return &e13Stack{env: env, store: store, gate: gate, rec: rec, ts: httptest.NewServer(srv.Handler())}, nil
+}
+
+// crash tears the stack down with no snapshot and no graceful
+// undeploy — the kill -9 equivalent.
+func (s *e13Stack) crash() {
+	s.ts.Close()
+	s.rec.Stop()
+	s.env.Close()
+	s.store.Close()
+}
+
+// e13Call performs one authenticated API round trip.
+func (s *e13Stack) e13Call(method, path, token string, body any) (int, time.Duration, error) {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return 0, 0, err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, s.ts.URL+path, rd)
+	if err != nil {
+		return 0, 0, err
+	}
+	req.Header.Set("Authorization", "Bearer "+token)
+	t0 := time.Now()
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, 0, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, time.Since(t0), nil
+}
+
+func e13TenantName(t int) string { return fmt.Sprintf("t%d", t) }
+
+// e13Graph builds tenant t's i-th monitor chain over its dedicated
+// host pair (pair index is globally unique so chains never share SAPs).
+func e13Graph(t, i, intentsPer, chainLen int) map[string]any {
+	types := make([]string, chainLen)
+	for k := range types {
+		types[k] = "monitor"
+	}
+	g := sg.NewChainGraph(fmt.Sprintf("svc%d", i), types...)
+	pair := t*intentsPer + i
+	g.SAPs[0].ID = fmt.Sprintf("h%da", pair)
+	g.SAPs[1].ID = fmt.Sprintf("h%db", pair)
+	g.Links[0].Src.Node = g.SAPs[0].ID
+	g.Links[len(g.Links)-1].Dst.Node = g.SAPs[1].ID
+	raw, _ := g.ToJSON()
+	return map[string]any{"graph": json.RawMessage(raw)}
+}
+
+// e13AwaitRunning polls until every tenant service is running.
+func (s *e13Stack) e13AwaitRunning(tenants, intentsPer int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		all := true
+		for t := 0; t < tenants && all; t++ {
+			for i := 0; i < intentsPer; i++ {
+				if !s.rec.Backend.Running(api.ServiceName(e13TenantName(t), fmt.Sprintf("svc%d", i))) {
+					all = false
+					break
+				}
+			}
+		}
+		if all {
+			return nil
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return fmt.Errorf("experiments: E13 convergence timed out after %s", timeout)
+}
+
+// e13UsageMatch checks the quota gate's committed totals against the
+// catalog demand of every tenant's full intent set. Totals — not
+// per-EE placements — are the recovery contract here: the bit-exact
+// fingerprint + epoch equality check lives in the api recovery test,
+// where reconciliation is forced single-threaded.
+func (s *e13Stack) e13UsageMatch(tenants, intentsPer, chainLen int) bool {
+	wantCPU := float64(intentsPer*chainLen) * 0.1
+	wantMem := intentsPer * chainLen * 32
+	for t := 0; t < tenants; t++ {
+		cpu, mem, _, svcs := s.gate.Usage(e13TenantName(t))
+		if math.Abs(cpu-wantCPU) > 1e-9 || mem != wantMem || svcs != intentsPer {
+			return false
+		}
+	}
+	return true
+}
+
+// yesno renders a stable label cell for a boolean check.
+func yesno(ok bool) string {
+	if ok {
+		return "yes"
+	}
+	return "no"
+}
+
+// E13ControlPlane measures the escaped control plane under concurrent
+// tenant churn and across a crash: tenants POST, DELETE and re-POST
+// durable intents through the HTTP API while the reconciler converges
+// the substrate; then the whole stack is killed without cleanup and
+// restarted, timing WAL-replay recovery against a cold start that has
+// to re-create every tenant and re-POST every intent.
+func E13ControlPlane(tenants, intentsPer, chainLen int) (*Table, error) {
+	if tenants <= 0 {
+		tenants = 4
+	}
+	if intentsPer <= 0 {
+		intentsPer = 6
+	}
+	if chainLen <= 0 {
+		chainLen = 2
+	}
+	tbl := &Table{
+		ID: "E13",
+		Title: fmt.Sprintf("Control-plane churn + crash recovery: %d tenants × %d intents, %d-NF chains",
+			tenants, intentsPer, chainLen),
+		Columns: []string{"phase", "tenants", "intents", "api_p50_ms", "api_p99_ms", "reconcile_lag_ms", "recover_ms", "view_match"},
+		Notes: []string{
+			"churn: concurrent POST of every intent, then DELETE + re-POST of each tenant's first intent",
+			"view_match: per-tenant committed quota totals equal the catalog demand of the intent set",
+			"recover_ms: wal-replay restarts from the log with zero API traffic; cold-start re-creates tenants and re-POSTs every intent",
+		},
+	}
+	total := tenants * intentsPer
+
+	dataDir, err := os.MkdirTemp("", "escape-e13")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dataDir)
+
+	// Phase 1: churn. Tenants are created up front, then every tenant
+	// drives its own intents concurrently with the others.
+	s, err := e13Start(dataDir, tenants, intentsPer, chainLen)
+	if err != nil {
+		return nil, err
+	}
+	tokens := make([]string, tenants)
+	for t := 0; t < tenants; t++ {
+		quota := api.Quota{
+			CPU:      float64(intentsPer*chainLen) * 0.1,
+			Mem:      intentsPer * chainLen * 32,
+			Services: intentsPer,
+		}
+		tn, err := s.store.CreateTenant(e13TenantName(t), quota)
+		if err != nil {
+			s.crash()
+			return nil, err
+		}
+		s.gate.SetTenant(tn)
+		tokens[t] = tn.Token
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		firstErr  error
+	)
+	record := func(code, want int, d time.Duration, err error, what string) {
+		mu.Lock()
+		defer mu.Unlock()
+		if err == nil && code != want {
+			err = fmt.Errorf("experiments: E13 %s returned %d, want %d", what, code, want)
+		}
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		latencies = append(latencies, d)
+	}
+	var wg sync.WaitGroup
+	for t := 0; t < tenants; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			for i := 0; i < intentsPer; i++ {
+				code, d, err := s.e13Call("POST", "/v1/intents", tokens[t], e13Graph(t, i, intentsPer, chainLen))
+				record(code, http.StatusAccepted, d, err, "POST intent")
+			}
+		}(t)
+	}
+	wg.Wait()
+	postsDone := time.Now()
+	if firstErr == nil {
+		firstErr = s.e13AwaitRunning(tenants, intentsPer, 2*time.Minute)
+	}
+	lag := time.Since(postsDone)
+	if firstErr != nil {
+		s.crash()
+		return nil, firstErr
+	}
+
+	// Churn proper: every tenant deletes its first intent and posts it
+	// back while the other tenants do the same.
+	for t := 0; t < tenants; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			id := api.ServiceName(e13TenantName(t), "svc0")
+			code, d, err := s.e13Call("DELETE", "/v1/intents/svc0", tokens[t], nil)
+			record(code, http.StatusAccepted, d, err, "DELETE intent")
+			deadline := time.Now().Add(time.Minute)
+			for time.Now().Before(deadline) && s.store.Intent(id) != nil {
+				time.Sleep(5 * time.Millisecond)
+			}
+			code, d, err = s.e13Call("POST", "/v1/intents", tokens[t], e13Graph(t, 0, intentsPer, chainLen))
+			record(code, http.StatusAccepted, d, err, "re-POST intent")
+		}(t)
+	}
+	wg.Wait()
+	if firstErr == nil {
+		firstErr = s.e13AwaitRunning(tenants, intentsPer, 2*time.Minute)
+	}
+	if firstErr != nil {
+		s.crash()
+		return nil, firstErr
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	tbl.AddRow("churn", fmt.Sprint(tenants), fmt.Sprint(total),
+		ms(percentile(latencies, 50)), ms(percentile(latencies, 99)),
+		ms(lag), "-", yesno(s.e13UsageMatch(tenants, intentsPer, chainLen)))
+
+	// Phase 2: kill -9 and WAL-replay recovery on the same data dir.
+	s.crash()
+	t0 := time.Now()
+	s, err = e13Start(dataDir, tenants, intentsPer, chainLen)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.e13AwaitRunning(tenants, intentsPer, 2*time.Minute); err != nil {
+		s.crash()
+		return nil, err
+	}
+	replayMS := time.Since(t0)
+	tbl.AddRow("wal-replay", fmt.Sprint(tenants), fmt.Sprint(total),
+		"-", "-", "-", ms(replayMS), yesno(s.e13UsageMatch(tenants, intentsPer, chainLen)))
+	s.crash()
+
+	// Phase 3: cold-start baseline on an empty data dir — the work the
+	// WAL saves: tenant creation plus every intent POSTed again.
+	coldDir, err := os.MkdirTemp("", "escape-e13-cold")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(coldDir)
+	t0 = time.Now()
+	s, err = e13Start(coldDir, tenants, intentsPer, chainLen)
+	if err != nil {
+		return nil, err
+	}
+	for t := 0; t < tenants; t++ {
+		quota := api.Quota{
+			CPU:      float64(intentsPer*chainLen) * 0.1,
+			Mem:      intentsPer * chainLen * 32,
+			Services: intentsPer,
+		}
+		tn, err := s.store.CreateTenant(e13TenantName(t), quota)
+		if err != nil {
+			s.crash()
+			return nil, err
+		}
+		s.gate.SetTenant(tn)
+		for i := 0; i < intentsPer; i++ {
+			code, _, err := s.e13Call("POST", "/v1/intents", tn.Token, e13Graph(t, i, intentsPer, chainLen))
+			if err == nil && code != http.StatusAccepted {
+				err = fmt.Errorf("experiments: E13 cold-start POST returned %d", code)
+			}
+			if err != nil {
+				s.crash()
+				return nil, err
+			}
+		}
+	}
+	if err := s.e13AwaitRunning(tenants, intentsPer, 2*time.Minute); err != nil {
+		s.crash()
+		return nil, err
+	}
+	coldMS := time.Since(t0)
+	tbl.AddRow("cold-start", fmt.Sprint(tenants), fmt.Sprint(total),
+		"-", "-", "-", ms(coldMS), yesno(s.e13UsageMatch(tenants, intentsPer, chainLen)))
+	s.crash()
+	return tbl, nil
+}

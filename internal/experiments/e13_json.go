@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+)
+
+// E13Row is one machine-readable E13 measurement, the row schema of
+// the BENCH_E13.json CI artifact. Cells that do not apply to a phase
+// ("-" in the table) come through as zero.
+type E13Row struct {
+	Phase          string  `json:"phase"`
+	Tenants        int     `json:"tenants"`
+	Intents        int     `json:"intents"`
+	APIP50Ms       float64 `json:"api_p50_ms"`
+	APIP99Ms       float64 `json:"api_p99_ms"`
+	ReconcileLagMs float64 `json:"reconcile_lag_ms"`
+	RecoverMs      float64 `json:"recover_ms"`
+	ViewMatch      bool    `json:"view_match"`
+}
+
+// E13JSON converts a rendered E13 table into its artifact rows.
+func E13JSON(t *Table) ([]E13Row, error) {
+	if len(t.Columns) != 8 {
+		return nil, fmt.Errorf("experiments: table %s does not have E13's column set", t.ID)
+	}
+	// optMs parses a millisecond cell, treating the "-" placeholder of
+	// inapplicable phases as zero.
+	optMs := func(cell string) (float64, error) {
+		if cell == "-" {
+			return 0, nil
+		}
+		return strconv.ParseFloat(cell, 64)
+	}
+	rows := make([]E13Row, 0, len(t.Rows))
+	for _, r := range t.Rows {
+		tn, err1 := strconv.Atoi(r[1])
+		in, err2 := strconv.Atoi(r[2])
+		p50, err3 := optMs(r[3])
+		p99, err4 := optMs(r[4])
+		lag, err5 := optMs(r[5])
+		rec, err6 := optMs(r[6])
+		for _, err := range []error{err1, err2, err3, err4, err5, err6} {
+			if err != nil {
+				return nil, fmt.Errorf("experiments: bad E13 row %v: %w", r, err)
+			}
+		}
+		rows = append(rows, E13Row{
+			Phase:          r[0],
+			Tenants:        tn,
+			Intents:        in,
+			APIP50Ms:       p50,
+			APIP99Ms:       p99,
+			ReconcileLagMs: lag,
+			RecoverMs:      rec,
+			ViewMatch:      r[7] == "yes",
+		})
+	}
+	return rows, nil
+}
+
+// WriteE13JSON writes the E13 artifact file consumed by CI.
+func WriteE13JSON(t *Table, path string) error {
+	rows, err := E13JSON(t)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

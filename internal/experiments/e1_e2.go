@@ -50,20 +50,11 @@ func pumpUntilDelivered(env *core.Environment, payload string, timeout time.Dura
 	if err != nil {
 		return 0, err
 	}
-	start := time.Now()
-	deadline := time.Now().Add(timeout)
-	for time.Now().Before(deadline) {
-		h1.Send(frame)
-		select {
-		case rx := <-h2.Recv():
-			dec := pkt.Decode(rx.Frame)
-			if u, ok := dec.Layer(pkt.LayerTypeUDP).(*pkt.UDP); ok && string(u.Payload()) == payload {
-				return time.Since(start), nil
-			}
-		case <-time.After(100 * time.Millisecond):
-		}
+	d, err := pumpFrame(h1, h2, frame, payload, timeout)
+	if err != nil {
+		return 0, fmt.Errorf("experiments: payload %q never delivered", payload)
 	}
-	return 0, fmt.Errorf("experiments: payload %q never delivered", payload)
+	return d, nil
 }
 
 // E1Architecture exercises the full three-layer architecture (Fig. 1)

@@ -10,7 +10,7 @@ type Registered struct {
 	Quick func() (*Table, error)
 }
 
-// Registry lists every experiment (E1–E12) with quick parameters.
+// Registry lists every experiment (E1–E13) with quick parameters.
 func Registry() []Registered {
 	return []Registered{
 		{"e1", E1Architecture},
@@ -25,5 +25,6 @@ func Registry() []Registered {
 		{"e10", func() (*Table, error) { return E10MultiDomain(3, 2, 2) }},
 		{"e11", func() (*Table, error) { return E11SelfHealing([]int{1}, 2, 2) }},
 		{"e12", func() (*Table, error) { return E12Admission([]int{4}, []int{4}, 2) }},
+		{"e13", func() (*Table, error) { return E13ControlPlane(2, 3, 2) }},
 	}
 }
