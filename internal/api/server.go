@@ -1,13 +1,17 @@
 package api
 
 import (
+	"context"
+	"crypto/subtle"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"escape/internal/catalog"
@@ -126,6 +130,20 @@ func (s *Server) logged(next http.Handler) http.Handler {
 	})
 }
 
+// slotKey carries the admission-slot release func in the request
+// context, so a handler about to block (?wait) can give its slot back
+// to the queue before sleeping.
+type slotKey struct{}
+
+// releaseSlot returns the request's admission-queue slot early. Safe
+// to call any number of times (the release is once-guarded) and a
+// no-op for requests that hold no slot.
+func releaseSlot(r *http.Request) {
+	if release, ok := r.Context().Value(slotKey{}).(func()); ok {
+		release()
+	}
+}
+
 // queued applies the bounded admission queue: acquire a slot or shed
 // load with 429 + Retry-After. Requests never pile up past QueueSlots.
 func (s *Server) queued(next http.HandlerFunc) http.HandlerFunc {
@@ -133,11 +151,15 @@ func (s *Server) queued(next http.HandlerFunc) http.HandlerFunc {
 		select {
 		case s.sem <- struct{}{}:
 			s.cfg.Metrics.QueueDepth.Add(1)
-			defer func() {
-				s.cfg.Metrics.QueueDepth.Add(-1)
-				<-s.sem
-			}()
-			next(w, r)
+			var once sync.Once
+			release := func() {
+				once.Do(func() {
+					s.cfg.Metrics.QueueDepth.Add(-1)
+					<-s.sem
+				})
+			}
+			defer release()
+			next(w, r.WithContext(context.WithValue(r.Context(), slotKey{}, release)))
 		default:
 			s.cfg.Metrics.Rejected429.Add(1)
 			w.Header().Set("Retry-After", "1")
@@ -158,7 +180,8 @@ func bearer(r *http.Request) string {
 // admin guards tenant-management endpoints with the admin token.
 func (s *Server) admin(next http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		if s.cfg.AdminToken == "" || bearer(r) != s.cfg.AdminToken {
+		if s.cfg.AdminToken == "" ||
+			subtle.ConstantTimeCompare([]byte(bearer(r)), []byte(s.cfg.AdminToken)) != 1 {
 			s.cfg.Metrics.AuthFailures.Add(1)
 			writeErr(w, http.StatusUnauthorized, "admin token required")
 			return
@@ -345,19 +368,19 @@ func (s *Server) handlePostIntent(w http.ResponseWriter, r *http.Request, t *Ten
 	}
 	id := g.Name
 
-	// Idempotency: the same desired graph is acknowledged, not
-	// re-admitted — no second intent, no second quota reservation.
-	if prev := s.cfg.Store.Intent(id); prev != nil {
-		if prev.Hash == hash && prev.Desired == DesiredRun {
+	// Idempotency fast path: the same desired graph is acknowledged, not
+	// re-admitted — no second intent, no second quota reservation. The
+	// authoritative, race-free check is UpsertIntent below; this early
+	// read only keeps idempotent retries from tripping the quota
+	// pre-check when the tenant is already at its limit.
+	if prev := s.cfg.Store.Intent(id); prev != nil && prev.Desired == DesiredRun {
+		if prev.Hash == hash {
 			s.cfg.Metrics.IntentsIdemHit.Add(1)
 			s.finishIntent(w, r, prev, http.StatusOK)
 			return
 		}
-		if prev.Desired == DesiredRun {
-			writeErr(w, http.StatusConflict, fmt.Sprintf("intent %q exists with a different graph (delete it first)", id))
-			return
-		}
-		// Desired removed: fall through and revive with the new graph.
+		writeErr(w, http.StatusConflict, fmt.Sprintf("intent %q exists with a different graph (delete it first)", id))
+		return
 	}
 
 	if err := s.precheckQuota(t, g); err != nil {
@@ -374,15 +397,27 @@ func (s *Server) handlePostIntent(w http.ResponseWriter, r *http.Request, t *Ten
 		Hash:    hash,
 		Desired: DesiredRun,
 	}
-	if err := s.cfg.Store.PutIntent(in, time.Now()); err != nil {
+	stored, idem, err := s.cfg.Store.UpsertIntent(in, time.Now())
+	if errors.Is(err, ErrIntentConflict) {
+		// A concurrent POST of a different graph won the race for the ID.
+		writeErr(w, http.StatusConflict, fmt.Sprintf("intent %q exists with a different graph (delete it first)", id))
+		return
+	}
+	if err != nil {
 		writeErr(w, http.StatusInternalServerError, "persist: "+err.Error())
+		return
+	}
+	if idem {
+		// A concurrent identical POST won the race; acknowledge its intent.
+		s.cfg.Metrics.IntentsIdemHit.Add(1)
+		s.finishIntent(w, r, stored, http.StatusOK)
 		return
 	}
 	s.cfg.Metrics.IntentsAdmitted.Add(1)
 	if s.cfg.Reconciler != nil {
 		s.cfg.Reconciler.Enqueue(id)
 	}
-	s.finishIntent(w, r, in, http.StatusAccepted)
+	s.finishIntent(w, r, stored, http.StatusAccepted)
 }
 
 // finishIntent replies with the intent's status, optionally blocking
@@ -393,6 +428,11 @@ func (s *Server) finishIntent(w http.ResponseWriter, r *http.Request, in *Intent
 		if err != nil || d <= 0 || d > 2*time.Minute {
 			d = 30 * time.Second
 		}
+		// Give the admission-queue slot back before blocking: a waiting
+		// request consumes nothing but a goroutine, and QueueSlots waited
+		// POSTs from one tenant must not starve every other tenant's
+		// requests out of the bounded queue for up to 2 minutes.
+		releaseSlot(r)
 		deadline := time.Now().Add(d)
 		for time.Now().Before(deadline) {
 			if s.cfg.Backend.Running(in.ID) {

@@ -227,6 +227,127 @@ func TestIntentDeployIdempotencyAndDelete(t *testing.T) {
 	}
 }
 
+// TestConcurrentPostsSingleWinner races identical and conflicting
+// POSTs of the same service name: the store-level compare-and-put must
+// let exactly one write through, answer the identical copies
+// idempotently, and 409 every rival graph — never last-writer-wins.
+func TestConcurrentPostsSingleWinner(t *testing.T) {
+	_, ts, rec, _ := testServer(t, ServerConfig{})
+	tok := createTenant(t, ts.URL, "root", "acme", Quota{})
+
+	bodyA, err := json.Marshal(chainBody(t, "web", "monitor"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bodyB, err := json.Marshal(chainBody(t, "web", "monitor", "monitor"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const perSide = 4
+	codes := make(chan int, 2*perSide)
+	var wg sync.WaitGroup
+	for i := 0; i < 2*perSide; i++ {
+		body := bodyA
+		if i%2 == 1 {
+			body = bodyB
+		}
+		wg.Add(1)
+		go func(body []byte) {
+			defer wg.Done()
+			req, err := http.NewRequest("POST", ts.URL+"/v1/intents", bytes.NewReader(body))
+			if err != nil {
+				codes <- 0
+				return
+			}
+			req.Header.Set("Authorization", "Bearer "+tok)
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				codes <- 0
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			codes <- resp.StatusCode
+		}(body)
+	}
+	wg.Wait()
+	close(codes)
+	counts := map[int]int{}
+	for c := range codes {
+		counts[c]++
+	}
+	if counts[http.StatusAccepted] != 1 || counts[http.StatusOK] != perSide-1 || counts[http.StatusConflict] != perSide {
+		t.Fatalf("status counts = %v, want one 202, %d 200s, %d 409s", counts, perSide-1, perSide)
+	}
+	if got := len(rec.Store.Intents("acme")); got != 1 {
+		t.Errorf("store holds %d intents for one service name, want 1", got)
+	}
+	if admitted := rec.Metrics.IntentsAdmitted.Load(); admitted != 1 {
+		t.Errorf("admitted = %d, want 1 (check-then-put race not closed)", admitted)
+	}
+}
+
+// pendingBackend accepts deploys but never reports them running, so a
+// ?wait on it blocks for its full duration.
+type pendingBackend struct{}
+
+func (pendingBackend) Deploy(*sg.Graph) error { return nil }
+func (pendingBackend) Undeploy(string) error  { return nil }
+func (pendingBackend) Deployed(string) bool   { return false }
+func (pendingBackend) Running(string) bool    { return false }
+func (pendingBackend) Services() []string     { return nil }
+
+// TestWaitedPOSTReleasesQueueSlot pins the cross-tenant starvation
+// fix: a POST blocked in ?wait must give its admission-queue slot back
+// before sleeping, so other requests flow while it waits.
+func TestWaitedPOSTReleasesQueueSlot(t *testing.T) {
+	store, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	rec := &Reconciler{Store: store, Backend: pendingBackend{}, Workers: 1, Resync: time.Hour, Backoff: 5 * time.Millisecond, Log: discardLog()}
+	rec.Start()
+	t.Cleanup(rec.Stop)
+	srv := NewServer(ServerConfig{
+		Store: store, Backend: pendingBackend{}, Reconciler: rec,
+		AdminToken: "root", QueueSlots: 1, Log: discardLog(),
+	})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	tok := createTenant(t, ts.URL, "root", "acme", Quota{})
+
+	body, err := json.Marshal(chainBody(t, "web", "monitor"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan int, 1)
+	go func() {
+		req, err := http.NewRequest("POST", ts.URL+"/v1/intents?wait=1500ms", bytes.NewReader(body))
+		if err != nil {
+			done <- 0
+			return
+		}
+		req.Header.Set("Authorization", "Bearer "+tok)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			done <- 0
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		done <- resp.StatusCode
+	}()
+	time.Sleep(150 * time.Millisecond) // let the POST claim the only slot and enter its wait
+	resp, _ := doJSON(t, "GET", ts.URL+"/v1/intents", tok, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET while a POST waits = %d, want 200 (waiter still holds the queue slot)", resp.StatusCode)
+	}
+	if code := <-done; code != http.StatusOK {
+		t.Fatalf("waited POST finished %d, want 200", code)
+	}
+}
+
 func TestQuotaPrecheckRejects(t *testing.T) {
 	gate := NewQuotaGate()
 	_, ts, _, _ := testServer(t, ServerConfig{Gate: gate, Catalog: catalog.Default()})

@@ -1,11 +1,12 @@
 package api
 
 import (
-	"bufio"
 	"bytes"
 	"crypto/sha256"
+	"crypto/subtle"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -142,6 +143,18 @@ func OpenStore(dir string) (*Store, error) {
 }
 
 // replay loads the snapshot, then applies every complete WAL record.
+// A record counts as complete only when it is newline-terminated and
+// parses: appendLocked writes record+newline in one call and fsyncs
+// before acknowledging, so an unterminated or unparsable final line is
+// a write the crash interrupted before the ack — never durable state.
+// That torn tail is not just skipped but truncated from the file;
+// OpenStore reopens the WAL with O_APPEND, and without the truncate
+// the first post-recovery append would concatenate onto the partial
+// record, poisoning that merged line for the *next* replay and
+// silently losing every acknowledged record after it. A malformed line
+// with complete records behind it cannot be a torn tail; that is real
+// corruption, and the store refuses to open rather than serve a
+// silently truncated state.
 func (s *Store) replay() error {
 	if raw, err := os.ReadFile(s.snapPath()); err == nil {
 		var snap snapshotFile
@@ -166,21 +179,33 @@ func (s *Store) replay() error {
 		}
 		return err
 	}
-	sc := bufio.NewScanner(bytes.NewReader(raw))
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	for sc.Scan() {
-		line := bytes.TrimSpace(sc.Bytes())
+	good := 0 // offset just past the last complete record
+	for off := 0; off < len(raw); {
+		nl := bytes.IndexByte(raw[off:], '\n')
+		if nl < 0 {
+			// Unterminated tail: the crash landed mid-write, before the
+			// record was fsync'd and acknowledged. Drop it.
+			s.torn = true
+			break
+		}
+		line := bytes.TrimSpace(raw[off : off+nl])
+		off += nl + 1
 		if len(line) == 0 {
+			good = off
 			continue
 		}
 		var rec walRecord
 		if err := json.Unmarshal(line, &rec); err != nil {
-			// With fsync per append, only the final record can be torn
-			// (the crash interrupted the write). Anything malformed
-			// earlier means real corruption.
-			s.torn = true
-			break
+			if off >= len(raw) {
+				// Malformed final line: a torn tail whose partial flush
+				// happened to include a newline. Drop it.
+				s.torn = true
+				break
+			}
+			return fmt.Errorf("api: corrupt WAL %s: unparsable record at byte %d with complete records after it: %w",
+				s.walPath(), good, err)
 		}
+		good = off
 		if rec.Seq <= s.seq {
 			continue // already captured by the snapshot
 		}
@@ -188,8 +213,21 @@ func (s *Store) replay() error {
 		s.seq = rec.Seq
 		s.replayed++
 	}
-	if err := sc.Err(); err != nil {
-		return err
+	if good < len(raw) {
+		// Cut the torn tail off before the WAL is reopened O_APPEND, so
+		// the next append starts on its own line instead of merging into
+		// the partial record.
+		f, err := os.OpenFile(s.walPath(), os.O_WRONLY, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := f.Truncate(int64(good)); err != nil {
+			return err
+		}
+		if err := f.Sync(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -314,16 +352,20 @@ func (s *Store) TenantByName(name string) *Tenant {
 	return s.tenants[name]
 }
 
-// TenantByToken resolves a bearer token, or nil.
+// TenantByToken resolves a bearer token, or nil. Every stored token is
+// compared in constant time, and the scan never breaks early, so
+// response timing leaks neither a prefix match nor which tenant (if
+// any) the token hit.
 func (s *Store) TenantByToken(token string) *Tenant {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	var found *Tenant
 	for _, t := range s.tenants {
-		if t.Token == token {
-			return t
+		if subtle.ConstantTimeCompare([]byte(t.Token), []byte(token)) == 1 && found == nil {
+			found = t
 		}
 	}
-	return nil
+	return found
 }
 
 // nextVLANBase carves the next free tenant tag block, or 0 when the
@@ -371,6 +413,41 @@ func (s *Store) PutIntent(in *Intent, now time.Time) error {
 	in.Updated = now
 	in.Seq = s.seq + 1 // the seq appendLocked will assign
 	return s.appendLocked(&walRecord{Op: "intent", Intent: in})
+}
+
+// ErrIntentConflict reports an UpsertIntent whose ID is already held
+// by a live intent with a different graph.
+var ErrIntentConflict = errors.New("api: intent exists with a different graph")
+
+// UpsertIntent performs the duplicate/conflict check and the durable
+// upsert atomically under one lock, closing the check-then-put race
+// where two concurrent POSTs of the same service name both observe no
+// prior intent and the last writer silently wins. It returns the
+// stored intent and whether the call was an idempotent no-op (an
+// identical live graph already held the ID); when a live intent holds
+// the ID with a different hash, the existing intent is returned
+// alongside ErrIntentConflict and nothing is written.
+func (s *Store) UpsertIntent(in *Intent, now time.Time) (*Intent, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if prev := s.intents[in.ID]; prev != nil {
+		if prev.Desired == DesiredRun {
+			if prev.Hash == in.Hash {
+				return prev, true, nil
+			}
+			return prev, false, ErrIntentConflict
+		}
+		in.Created = prev.Created // reviving keeps the original birth time
+	}
+	if in.Created.IsZero() {
+		in.Created = now
+	}
+	in.Updated = now
+	in.Seq = s.seq + 1 // the seq appendLocked will assign
+	if err := s.appendLocked(&walRecord{Op: "intent", Intent: in}); err != nil {
+		return nil, false, err
+	}
+	return in, false, nil
 }
 
 // Forget durably removes an intent record entirely (after the

@@ -1,9 +1,12 @@
 package api
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 
@@ -121,6 +124,124 @@ func TestStoreTornTailDropped(t *testing.T) {
 	// The store must still accept appends after recovering a torn log.
 	if err := s2.PutIntent(testIntent(t, "a", "three"), time.Now()); err != nil {
 		t.Fatal(err)
+	}
+	s2.Close()
+
+	// Double crash: recovery must have truncated the torn tail before
+	// reopening O_APPEND, or the post-recovery append above was written
+	// onto the partial record's line and this second replay loses it.
+	s3, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	n, torn = s3.Replayed()
+	if torn {
+		t.Error("torn tail reported again after a recovery that should have truncated it")
+	}
+	if n != 3 {
+		t.Errorf("second replay applied %d records, want 3", n)
+	}
+	ids := []string{}
+	for _, in := range s3.Intents("") {
+		ids = append(ids, in.ID)
+	}
+	if len(ids) != 3 || ids[0] != "a/one" || ids[1] != "a/three" || ids[2] != "a/two" {
+		t.Errorf("intents after double crash = %v, want the post-recovery append to survive", ids)
+	}
+}
+
+func TestStoreMidFileCorruptionFailsOpen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, svc := range []string{"one", "two", "three"} {
+		if err := s.PutIntent(testIntent(t, "a", svc), time.Now()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	// Mangle the middle record while the records after it stay intact:
+	// that cannot be a torn tail, so the store must refuse to open
+	// instead of silently dropping the valid records behind it.
+	walPath := filepath.Join(dir, "wal.log")
+	raw, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(raw, []byte("\n"))
+	if len(lines) < 3 {
+		t.Fatalf("want >= 3 WAL lines, got %d", len(lines))
+	}
+	lines[1] = append([]byte(`{"seq":2,"op":"intent","intent":{"id":"a/tw`), '\n')
+	if err := os.WriteFile(walPath, bytes.Join(lines, nil), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStore(dir); err == nil {
+		t.Fatal("OpenStore succeeded on a WAL corrupted mid-file; want a loud failure")
+	}
+}
+
+func TestUpsertIntentConcurrentSingleWinner(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Two rival graphs race for the same ID across many goroutines:
+	// exactly one write may win; every rival must see ErrIntentConflict,
+	// and every copy of the winner must come back as an idempotent hit.
+	a, b := testIntent(t, "acme", "web"), testIntent(t, "acme", "web")
+	b.Graph = append(json.RawMessage{}, a.Graph...)
+	b.Hash = "different-" + a.Hash
+	const perSide = 8
+	var (
+		wg                          sync.WaitGroup
+		mu                          sync.Mutex
+		writes, idemHits, conflicts int
+	)
+	for i := 0; i < 2*perSide; i++ {
+		in := *a
+		if i%2 == 1 {
+			in = *b
+		}
+		wg.Add(1)
+		go func(in Intent) {
+			defer wg.Done()
+			stored, idem, err := s.UpsertIntent(&in, time.Now())
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case errors.Is(err, ErrIntentConflict):
+				conflicts++
+			case err != nil:
+				t.Errorf("UpsertIntent: %v", err)
+			case idem:
+				idemHits++
+			default:
+				if stored == nil {
+					t.Error("winning upsert returned nil intent")
+				}
+				writes++
+			}
+		}(in)
+	}
+	wg.Wait()
+	if writes != 1 || idemHits != perSide-1 || conflicts != perSide {
+		t.Errorf("writes/idem/conflicts = %d/%d/%d, want 1/%d/%d",
+			writes, idemHits, conflicts, perSide-1, perSide)
+	}
+	got := s.Intents("")
+	if len(got) != 1 {
+		t.Fatalf("stored %d intents, want exactly 1", len(got))
+	}
+	if got[0].Hash != a.Hash && got[0].Hash != b.Hash {
+		t.Errorf("stored hash %q is neither contender", got[0].Hash)
 	}
 }
 
