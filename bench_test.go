@@ -1,5 +1,5 @@
 // Package escape's root benchmarks regenerate every experiment of
-// EXPERIMENTS.md (one benchmark per table/figure, E1–E13). Run with:
+// EXPERIMENTS.md (one benchmark per table/figure, E1–E14). Run with:
 //
 //	go test -bench=. -benchmem
 //
@@ -264,5 +264,22 @@ func BenchmarkE13ControlPlane(b *testing.B) {
 			v, _ := strconv.ParseFloat(tbl.Rows[1][6], 64)
 			b.ReportMetric(v, "replay-ms")
 		}
+	}
+}
+
+// BenchmarkE14FlowsimScale runs the flow-level substrate experiment at a
+// mid-size grid: admission, faults and healing for hundreds of services
+// over hundreds of switches, entirely in virtual time.
+func BenchmarkE14FlowsimScale(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.E14ScaleSim(experiments.E14Config{
+			Regions: 4, SwitchesPerRegion: 64, Services: 200, Faults: 4,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tbl.Render(tableOut())
+		// Column 6 is admitted services of the last (pareto) cell.
+		b.ReportMetric(lastFloat(tbl, 6), "admitted")
 	}
 }

@@ -13,6 +13,9 @@
 //	escape-bench -e e11 -e11kills 1,2 -e11chain 4
 //	escape-bench -e e12 -e12k 8,12 -e12conc 16,64
 //	escape-bench -e e13 -e13tenants 8 -e13intents 4 -e13json BENCH_E13.json
+//	escape-bench -e e14 -e14json BENCH_E14.json           # flowsim smoke
+//	escape-bench -e e14 -e14full                          # 100k switches, 1M services
+//	escape-bench -e e14 -e14regions 10 -e14sw 200 -e14services 5000
 //	escape-bench -quick          # reduced parameters (CI-friendly)
 //	escape-bench -e e12 -cpuprofile cpu.out -memprofile mem.out
 package main
@@ -28,6 +31,7 @@ import (
 
 	"escape/internal/click"
 	"escape/internal/experiments"
+	"escape/internal/substrate"
 )
 
 // parseE6Drivers maps a comma-separated driver list ("single,per-task,
@@ -72,6 +76,13 @@ func main() {
 	e13intents := flag.Int("e13intents", 6, "E13 intents per tenant")
 	e13chain := flag.Int("e13chain", 2, "E13 chain length (NFs per intent)")
 	e13json := flag.String("e13json", "", "write E13 rows as JSON (BENCH_E13.json CI artifact) to this file")
+	e14full := flag.Bool("e14full", false, "E14 headline scale: 100k switches, 1M services (minutes, several GB)")
+	e14regions := flag.Int("e14regions", 0, "override E14 region count")
+	e14sw := flag.Int("e14sw", 0, "override E14 switches per region")
+	e14services := flag.Int("e14services", 0, "override E14 service count")
+	e14faults := flag.Int("e14faults", 4, "E14 backbone link fail/heal pairs per cell")
+	e14procs := flag.String("e14procs", "", "E14 arrival-process subset (diurnal,flash,pareto), default all")
+	e14json := flag.String("e14json", "", "write E14 rows as JSON (BENCH_E14.json CI artifact) to this file")
 	quick := flag.Bool("quick", false, "reduced parameter sets")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after the selected experiments to this file")
@@ -96,7 +107,7 @@ func main() {
 
 	selected := map[string]bool{}
 	if *which == "all" {
-		for i := 1; i <= 13; i++ {
+		for i := 1; i <= 14; i++ {
 			selected[fmt.Sprintf("e%d", i)] = true
 		}
 	} else {
@@ -188,6 +199,32 @@ func main() {
 		{"e13", func() (*experiments.Table, error) {
 			return experiments.E13ControlPlane(*e13tenants, *e13intents, *e13chain)
 		}},
+		{"e14", func() (*experiments.Table, error) {
+			cfg := experiments.E14Config{Faults: *e14faults}
+			if *e14full {
+				cfg = experiments.E14FullScale()
+			}
+			if !*quick && !*e14full {
+				// Default standalone run: a mid-size grid that still
+				// finishes in seconds (quick mode shrinks further).
+				cfg.Regions, cfg.SwitchesPerRegion, cfg.Services = 8, 64, 400
+			}
+			if *e14regions > 0 {
+				cfg.Regions = *e14regions
+			}
+			if *e14sw > 0 {
+				cfg.SwitchesPerRegion = *e14sw
+			}
+			if *e14services > 0 {
+				cfg.Services = *e14services
+			}
+			if *e14procs != "" {
+				for _, p := range strings.Split(*e14procs, ",") {
+					cfg.Processes = append(cfg.Processes, substrate.ArrivalProcess(strings.TrimSpace(p)))
+				}
+			}
+			return experiments.E14ScaleSim(cfg)
+		}},
 	}
 	ran := 0
 	for _, e := range all {
@@ -210,6 +247,12 @@ func main() {
 				fatal(fmt.Errorf("e13json: %w", err))
 			}
 			fmt.Fprintf(os.Stderr, "escape-bench: wrote %s\n", *e13json)
+		}
+		if e.id == "e14" && *e14json != "" {
+			if err := experiments.WriteE14JSON(tbl, *e14json); err != nil {
+				fatal(fmt.Errorf("e14json: %w", err))
+			}
+			fmt.Fprintf(os.Stderr, "escape-bench: wrote %s\n", *e14json)
 		}
 		ran++
 	}

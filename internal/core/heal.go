@@ -117,7 +117,7 @@ func (rv *ResourceView) planHeal(m *Mapping, eeDown func(string) bool, linkDown 
 	}
 
 	caps := rv.Snapshot()
-	for _, ee := range rv.EENames() {
+	for _, ee := range rv.eeNamesShared() {
 		if eeDown(ee) {
 			caps.ExcludeEE(ee)
 		}
@@ -141,7 +141,7 @@ func (rv *ResourceView) planHeal(m *Mapping, eeDown func(string) bool, linkDown 
 		movedIDs = append(movedIDs, nfID)
 	}
 	sort.Strings(movedIDs)
-	eeNames := rv.EENames()
+	eeNames := rv.eeNamesShared()
 	for _, nfID := range movedIDs {
 		nf := m.Graph.NF(nfID)
 		cpu, mem := m.nfDemand(nf)

@@ -42,7 +42,7 @@ func (gm *GreedyMapper) Map(g *sg.Graph, rv *ResourceView) (*Mapping, error) {
 	for _, nf := range mc.nfsInChainOrder() {
 		cpu, mem := mc.demand(nf)
 		placed := false
-		for _, ee := range rv.EENames() {
+		for _, ee := range rv.eeNamesShared() {
 			if mc.caps.FitsEE(ee, cpu, mem) {
 				mc.caps.TakeEE(ee, cpu, mem)
 				placements[nf.ID] = ee
@@ -91,7 +91,7 @@ func (rm *RandomMapper) Map(g *sg.Graph, rv *ResourceView) (*Mapping, error) {
 		for _, nf := range mc.nfsInChainOrder() {
 			cpu, mem := mc.demand(nf)
 			var candidates []string
-			for _, ee := range rv.EENames() {
+			for _, ee := range rv.eeNamesShared() {
 				if mc.caps.FitsEE(ee, cpu, mem) {
 					candidates = append(candidates, ee)
 				}
@@ -142,7 +142,7 @@ func (bm *BacktrackMapper) Map(g *sg.Graph, rv *ResourceView) (*Mapping, error) 
 		budget = 200000
 	}
 	nfs := mc.nfsInChainOrder()
-	ees := rv.EENames()
+	ees := rv.eeNamesShared()
 
 	var best *Mapping
 	bestCost := int(^uint(0) >> 1)
@@ -247,7 +247,7 @@ func (km *KSPMapper) Map(g *sg.Graph, rv *ResourceView) (*Mapping, error) {
 			distFromPrev := rv.hopDistancesShared(prevSwitch)
 			bestEE := ""
 			bestScore := int(^uint(0) >> 1)
-			for _, ee := range rv.EENames() {
+			for _, ee := range rv.eeNamesShared() {
 				if !mc.caps.FitsEE(ee, cpu, mem) {
 					continue
 				}
@@ -278,7 +278,7 @@ func (km *KSPMapper) Map(g *sg.Graph, rv *ResourceView) (*Mapping, error) {
 		}
 		cpu, mem := mc.demand(nf)
 		placed := false
-		for _, ee := range rv.EENames() {
+		for _, ee := range rv.eeNamesShared() {
 			if mc.caps.FitsEE(ee, cpu, mem) {
 				mc.caps.TakeEE(ee, cpu, mem)
 				placements[nf.ID] = ee

@@ -85,6 +85,11 @@ type ResourceView struct {
 	adj      map[string][]string
 	linkIdx  map[linkKey]*LinkRes
 
+	// eeNamesOnce freezes the sorted EE-name list on first mapper use
+	// (same lifecycle as the topology index).
+	eeNamesOnce sync.Once
+	eeNames     []string
+
 	// paths is the shared cached path engine (nil = disabled, every
 	// route is a live BFS).
 	paths atomic.Pointer[pathCache]
@@ -524,14 +529,30 @@ func BuildResourceView(n *netem.Network, eeSwitch map[string]string) (*ResourceV
 	return rv, nil
 }
 
-// EENames returns sorted EE names (deterministic mapper iteration).
+// EENames returns sorted EE names (deterministic mapper iteration). The
+// caller owns the returned slice.
 func (rv *ResourceView) EENames() []string {
-	out := make([]string, 0, len(rv.EEs))
-	for n := range rv.EEs {
-		out = append(out, n)
-	}
-	sort.Strings(out)
+	shared := rv.eeNamesShared()
+	out := make([]string, len(shared))
+	copy(out, shared)
 	return out
+}
+
+// eeNamesShared returns the memoized sorted EE-name list. Like the
+// topology index, the EE set is frozen from the first mapping onward, so
+// the sort runs once instead of per NF per admission (mappers scan it in
+// their placement loops — the former per-call alloc+sort showed up at
+// E12/E14 admission rates). Callers must not mutate the result.
+func (rv *ResourceView) eeNamesShared() []string {
+	rv.eeNamesOnce.Do(func() {
+		out := make([]string, 0, len(rv.EEs))
+		for n := range rv.EEs {
+			out = append(out, n)
+		}
+		sort.Strings(out)
+		rv.eeNames = out
+	})
+	return rv.eeNames
 }
 
 // buildTopoIndex freezes the topology into an adjacency list (sorted
@@ -986,7 +1007,7 @@ func (rv *ResourceView) CommittedBW(a, b string) float64 {
 func (rv *ResourceView) Fingerprint() string {
 	s := rv.state.Load()
 	h := sha256.New()
-	for _, ee := range rv.EENames() {
+	for _, ee := range rv.eeNamesShared() {
 		if v := s.cpu(ee); v != 0 {
 			fmt.Fprintf(h, "cpu %s %s\n", ee, strconv.FormatFloat(v, 'g', -1, 64))
 		}

@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"escape/internal/flowsim"
+	"escape/internal/substrate"
+)
+
+// E14 — operator-scale orchestration on the flow-level substrate. The
+// E9/E11/E12-class workload (admission churn, mid-life link failures
+// with healing, capacity pressure) runs against internal/flowsim
+// instead of packet emulation: the same KSP mapper, the same
+// copy-on-write admission protocol and the same AdmitHeal path decide
+// everything, while the substrate models links analytically — which is
+// what lets one cell hold 100k switches and a million concurrent
+// services where netem tops out around fat-tree k=12.
+//
+// Every reported metric derives from virtual time and deterministic
+// iteration: two runs of the same configuration produce bit-identical
+// tables (TestE14BitIdentical), which is also why no wall-clock column
+// appears — wall time goes to Notes.
+
+// E14Config sizes one run. The zero value is replaced by quick-mode
+// defaults; cmd/escape-bench exposes the full-scale knobs.
+type E14Config struct {
+	// Topology: Regions × SwitchesPerRegion switches (see
+	// substrate.ScaleSpec), SAPs/EEs per region bound the attachment
+	// sets that drive mapping cost.
+	Regions           int
+	SwitchesPerRegion int
+	SAPsPerRegion     int
+	EEsPerRegion      int
+	// Workload: Services arrivals over Horizon (virtual), holding for
+	// MeanLifetime. Lifetimes ≫ horizon pile services up toward
+	// "Services concurrent".
+	Services     int
+	ChainLen     int
+	Horizon      time.Duration
+	MeanLifetime time.Duration
+	// Rate is the per-flow offered load; LinkBW the per-SG-link demand.
+	Rate   float64
+	LinkBW float64
+	// Faults injects this many link fail/heal pairs per cell (healing
+	// re-steers affected services through core.AdmitHeal).
+	Faults int
+	Seed   int64
+	// Processes selects the arrival-process cells (default all three).
+	Processes []substrate.ArrivalProcess
+}
+
+func (c E14Config) withDefaults() E14Config {
+	if c.Regions <= 0 {
+		c.Regions = 2
+	}
+	if c.SwitchesPerRegion <= 0 {
+		c.SwitchesPerRegion = 32
+	}
+	if c.SAPsPerRegion <= 0 {
+		c.SAPsPerRegion = 4
+	}
+	if c.EEsPerRegion <= 0 {
+		c.EEsPerRegion = 3
+	}
+	if c.Services <= 0 {
+		c.Services = 60
+	}
+	if c.ChainLen <= 0 {
+		c.ChainLen = 2
+	}
+	if c.Horizon <= 0 {
+		c.Horizon = time.Hour
+	}
+	if c.MeanLifetime <= 0 {
+		c.MeanLifetime = 4 * c.Horizon
+	}
+	if c.Rate <= 0 {
+		c.Rate = 1e6
+	}
+	if c.LinkBW <= 0 {
+		c.LinkBW = 1e6
+	}
+	if c.Seed == 0 {
+		c.Seed = 14
+	}
+	if len(c.Processes) == 0 {
+		c.Processes = []substrate.ArrivalProcess{
+			substrate.Diurnal, substrate.FlashCrowd, substrate.HeavyTailed,
+		}
+	}
+	return c
+}
+
+// E14FullScale is the headline configuration: 100 regions × 1000
+// switches = 100k switches, one million services held concurrent by
+// long lifetimes. Takes minutes and several GB; run via
+// `escape-bench -e e14 -e14full` (CI runs the quick cell instead).
+func E14FullScale() E14Config {
+	return E14Config{
+		Regions: 100, SwitchesPerRegion: 1000,
+		SAPsPerRegion: 10, EEsPerRegion: 8,
+		Services: 1_000_000, ChainLen: 2,
+		Horizon: time.Hour, MeanLifetime: 50 * time.Hour,
+		Rate: 1e6, LinkBW: 100e3,
+		// Two backbone faults, not more: each fault window holds an
+		// exclusion mask that cold-starts the path cache, and at 1M
+		// arrivals a horizon blanketed by fault windows turns every
+		// admission into a fresh 100k-switch KSP run.
+		Faults: 2, Seed: 14,
+	}
+}
+
+// E14ScaleSim runs one cell per arrival process and reports the
+// decision and traffic outcomes.
+func E14ScaleSim(cfg E14Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	params := substrate.ScaleParams{
+		Regions: cfg.Regions, SwitchesPerRegion: cfg.SwitchesPerRegion,
+		SAPsPerRegion: cfg.SAPsPerRegion, EEsPerRegion: cfg.EEsPerRegion,
+		BackboneBW: 1e12, RegionBW: 400e9, AccessBW: 100e9,
+		// Size EEs so compute never rejects: E14 studies bandwidth
+		// pressure and healing at scale, not bin-packing.
+		EECPU: float64(cfg.Services*cfg.ChainLen) * 0.125 / float64(cfg.Regions*cfg.EEsPerRegion) * 4,
+		EEMem: cfg.Services * cfg.ChainLen * 32 / (cfg.Regions * cfg.EEsPerRegion) * 4,
+	}
+	spec := substrate.ScaleSpec(params)
+
+	t := &Table{
+		ID: "E14",
+		Title: fmt.Sprintf("Flow-level substrate at %d switches: admission + healing under realistic arrivals (%d services, chains of %d)",
+			cfg.Regions*cfg.SwitchesPerRegion, cfg.Services, cfg.ChainLen),
+		Columns: []string{"proc", "sw", "links", "saps", "ees", "services",
+			"admitted", "rejected", "heal_mv", "rerouted", "peak_act",
+			"dlv_pct", "max_util", "overload", "virt_h"},
+		Notes: []string{
+			"all metrics virtual-time derived: same config + seed ⇒ bit-identical rows",
+			"same mapper/admission/heal code as E9/E11/E12 — only the substrate is analytic",
+		},
+	}
+
+	for _, proc := range cfg.Processes {
+		wall := time.Now()
+		sim, err := flowsim.New(spec, flowsim.Options{})
+		if err != nil {
+			return nil, err
+		}
+		if err := sim.Start(); err != nil {
+			return nil, err
+		}
+		rv, err := sim.View()
+		if err != nil {
+			return nil, err
+		}
+		events := substrate.GenerateWorkload(substrate.WorkloadParams{
+			Seed: cfg.Seed, Process: proc, Services: cfg.Services,
+			Horizon: cfg.Horizon, MeanLifetime: cfg.MeanLifetime,
+			ChainLen: cfg.ChainLen, Rate: cfg.Rate,
+			SAPs: spec.SAPNames(), PairPool: 4096,
+		})
+		if cfg.Faults > 0 {
+			// Fault the backbone ring (the first Regions links of the
+			// spec): those are the shared trunks whose loss re-steers
+			// many services at once.
+			backbone := spec.Links
+			if len(backbone) > cfg.Regions {
+				backbone = backbone[:cfg.Regions]
+			}
+			events = substrate.WithLinkFaults(events, backbone, cfg.Faults,
+				cfg.Seed+1, cfg.Horizon, cfg.Horizon/20)
+		}
+		rep, err := substrate.PlayScenario(sim, rv, substrate.DefaultMapper(), events, substrate.PlayOptions{
+			Traffic: true, HealOnFault: true, LinkBW: cfg.LinkBW,
+		})
+		if err != nil {
+			return nil, err
+		}
+		lrep := sim.Report()
+		vdur := sim.Now()
+		sim.Stop()
+
+		t.AddRow(
+			string(proc),
+			fmt.Sprintf("%d", len(spec.Switches)),
+			fmt.Sprintf("%d", len(spec.Links)),
+			fmt.Sprintf("%d", len(spec.Hosts)),
+			fmt.Sprintf("%d", len(spec.EEs)),
+			fmt.Sprintf("%d", cfg.Services),
+			fmt.Sprintf("%d", rep.Admitted),
+			fmt.Sprintf("%d", rep.Rejected),
+			fmt.Sprintf("%d", rep.HealMoves),
+			fmt.Sprintf("%d", rep.Rerouted),
+			fmt.Sprintf("%d", rep.PeakActive),
+			fmt.Sprintf("%.3f", rep.DeliveredPct()),
+			fmt.Sprintf("%.3f", lrep.MaxUtilization),
+			fmt.Sprintf("%d", lrep.Overloaded),
+			fmt.Sprintf("%.2f", vdur.Hours()),
+		)
+		t.Notes = append(t.Notes, fmt.Sprintf("%s cell wall time: %v", proc, time.Since(wall).Round(time.Millisecond)))
+	}
+	return t, nil
+}

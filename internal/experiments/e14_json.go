@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+)
+
+// E14Row is one machine-readable E14 cell, the row schema of the
+// BENCH_E14.json CI artifact. Every field derives from virtual time, so
+// the artifact is byte-stable for a fixed config and seed.
+type E14Row struct {
+	Process      string  `json:"process"`
+	Switches     int     `json:"switches"`
+	Links        int     `json:"links"`
+	SAPs         int     `json:"saps"`
+	EEs          int     `json:"ees"`
+	Services     int     `json:"services"`
+	Admitted     int     `json:"admitted"`
+	Rejected     int     `json:"rejected"`
+	HealMoves    int     `json:"heal_moves"`
+	Rerouted     int     `json:"rerouted"`
+	PeakActive   int     `json:"peak_active"`
+	DeliveredPct float64 `json:"delivered_pct"`
+	MaxUtil      float64 `json:"max_util"`
+	Overloaded   int     `json:"overloaded"`
+	VirtHours    float64 `json:"virt_hours"`
+}
+
+// E14JSON converts a rendered E14 table into its artifact rows.
+func E14JSON(t *Table) ([]E14Row, error) {
+	if len(t.Columns) < 15 {
+		return nil, fmt.Errorf("experiments: table %s does not have E14's column set", t.ID)
+	}
+	rows := make([]E14Row, 0, len(t.Rows))
+	for _, r := range t.Rows {
+		ints := make([]int, 0, 11)
+		var errInt error
+		for _, idx := range []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10} {
+			v, err := strconv.Atoi(r[idx])
+			if err != nil {
+				errInt = err
+			}
+			ints = append(ints, v)
+		}
+		over, errOver := strconv.Atoi(r[13])
+		dlv, err1 := strconv.ParseFloat(r[11], 64)
+		util, err2 := strconv.ParseFloat(r[12], 64)
+		vh, err3 := strconv.ParseFloat(r[14], 64)
+		for _, err := range []error{errInt, errOver, err1, err2, err3} {
+			if err != nil {
+				return nil, fmt.Errorf("experiments: bad E14 row %v: %w", r, err)
+			}
+		}
+		rows = append(rows, E14Row{
+			Process:  r[0],
+			Switches: ints[0], Links: ints[1], SAPs: ints[2], EEs: ints[3],
+			Services: ints[4], Admitted: ints[5], Rejected: ints[6],
+			HealMoves: ints[7], Rerouted: ints[8], PeakActive: ints[9],
+			DeliveredPct: dlv, MaxUtil: util, Overloaded: over, VirtHours: vh,
+		})
+	}
+	return rows, nil
+}
+
+// WriteE14JSON writes the E14 artifact file consumed by CI.
+func WriteE14JSON(t *Table, path string) error {
+	rows, err := E14JSON(t)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

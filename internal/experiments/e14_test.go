@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestE14BitIdentical is stricter than the generic determinism suite
+// (which tolerates numeric drift across runs): E14 cells derive purely
+// from virtual time, so two runs of the same config must produce
+// byte-equal rows, not just the same shape.
+func TestE14BitIdentical(t *testing.T) {
+	cfg := E14Config{Faults: 2}
+	a, err := E14ScaleSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := E14ScaleSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Columns, b.Columns) {
+		t.Fatalf("columns diverged:\n%v\n%v", a.Columns, b.Columns)
+	}
+	if len(a.Rows) != len(b.Rows) {
+		t.Fatalf("row count diverged: %d vs %d", len(a.Rows), len(b.Rows))
+	}
+	for i := range a.Rows {
+		if !reflect.DeepEqual(a.Rows[i], b.Rows[i]) {
+			t.Fatalf("row %d diverged:\n%v\n%v", i, a.Rows[i], b.Rows[i])
+		}
+	}
+}
+
+// TestE14QuickShape checks the quick cell does real work on all three
+// arrival processes and that the JSON artifact round-trips.
+func TestE14QuickShape(t *testing.T) {
+	tb, err := E14ScaleSim(E14Config{Faults: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows %d, want 3 (one per arrival process)", len(tb.Rows))
+	}
+	rows, err := E14JSON(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, r := range rows {
+		seen[r.Process] = true
+		if r.Admitted == 0 {
+			t.Fatalf("%s: no admissions: %+v", r.Process, r)
+		}
+		if r.Admitted+r.Rejected != r.Services {
+			t.Fatalf("%s: admitted %d + rejected %d != services %d",
+				r.Process, r.Admitted, r.Rejected, r.Services)
+		}
+		if r.PeakActive <= 0 || r.PeakActive > r.Admitted {
+			t.Fatalf("%s: peak_active %d out of range", r.Process, r.PeakActive)
+		}
+		if r.DeliveredPct <= 0 || r.DeliveredPct > 100 {
+			t.Fatalf("%s: delivered_pct %v out of range", r.Process, r.DeliveredPct)
+		}
+		if r.HealMoves == 0 && r.Rerouted > 0 {
+			t.Fatalf("%s: rerouted without heal moves: %+v", r.Process, r)
+		}
+	}
+	for _, p := range []string{"diurnal", "flash", "pareto"} {
+		if !seen[p] {
+			t.Fatalf("missing %s cell", p)
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_E14.json")
+	if err := WriteE14JSON(tb, path); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := os.Stat(path); err != nil || st.Size() == 0 {
+		t.Fatalf("artifact not written: %v", err)
+	}
+}

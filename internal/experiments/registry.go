@@ -10,7 +10,7 @@ type Registered struct {
 	Quick func() (*Table, error)
 }
 
-// Registry lists every experiment (E1–E13) with quick parameters.
+// Registry lists every experiment (E1–E14) with quick parameters.
 func Registry() []Registered {
 	return []Registered{
 		{"e1", E1Architecture},
@@ -26,5 +26,6 @@ func Registry() []Registered {
 		{"e11", func() (*Table, error) { return E11SelfHealing([]int{1}, 2, 2) }},
 		{"e12", func() (*Table, error) { return E12Admission([]int{4}, []int{4}, 2) }},
 		{"e13", func() (*Table, error) { return E13ControlPlane(2, 3, 2) }},
+		{"e14", func() (*Table, error) { return E14ScaleSim(E14Config{Faults: 2}) }},
 	}
 }

@@ -1,7 +1,6 @@
 package netem
 
 import (
-	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -78,8 +77,11 @@ type pipe struct {
 	cfg     LinkConfig
 	queue   chan []byte
 	deliver func(frame []byte)
-	rng     *rand.Rand
-	rngMu   sync.Mutex
+	// lossState is the seeded per-pipe loss RNG (splitmix64 over an
+	// atomically advanced counter): concurrent senders on the unshaped
+	// inline fast path draw without a lock, and a single sender observes
+	// the same deterministic sequence for a given LossSeed.
+	lossState atomic.Uint64
 
 	packets atomic.Uint64
 	bytes   atomic.Uint64
@@ -100,9 +102,7 @@ func newPipe(cfg LinkConfig, deliver func([]byte), seedSalt int64) *pipe {
 		deliver: deliver,
 		stop:    make(chan struct{}),
 	}
-	if cfg.Loss > 0 {
-		p.rng = rand.New(rand.NewSource(cfg.LossSeed ^ seedSalt))
-	}
+	p.lossState.Store(uint64(cfg.LossSeed ^ seedSalt))
 	return p
 }
 
@@ -129,13 +129,48 @@ func (p *pipe) send(frame []byte) {
 	}
 }
 
+// lose draws the per-packet loss decision lock-free: the counter advance
+// is one atomic add (each caller gets a unique state), and the splitmix64
+// finalizer turns it into a uniform [0,1) variate. The previous
+// mutex-guarded math/rand draw serialized every packet on the unshaped
+// inline fast path.
 func (p *pipe) lose() bool {
-	if p.rng == nil {
+	if p.cfg.Loss <= 0 {
 		return false
 	}
-	p.rngMu.Lock()
-	defer p.rngMu.Unlock()
-	return p.rng.Float64() < p.cfg.Loss
+	z := p.lossState.Add(0x9e3779b97f4a7c15)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11)/(1<<53) < p.cfg.Loss
+}
+
+// waitTimer arms the goroutine's reused (drained) timer for d and waits.
+// It reports false when the pipe stops first. The timer is drained again
+// on return, so the next Reset cannot observe a stale expiry.
+func (p *pipe) waitTimer(t *time.Timer, d time.Duration) bool {
+	t.Reset(d)
+	select {
+	case <-p.stop:
+		if !t.Stop() {
+			<-t.C
+		}
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// newDrainedTimer returns a stopped, drained timer ready for waitTimer's
+// Reset: one per pipe goroutine, reused for every frame, where the
+// previous per-frame time.After allocated a fresh timer (plus channel)
+// for every serialized and every delayed frame.
+func newDrainedTimer() *time.Timer {
+	t := time.NewTimer(time.Hour)
+	if !t.Stop() {
+		<-t.C
+	}
+	return t
 }
 
 // start launches the transmission goroutine for shaped pipes. Unshaped
@@ -152,16 +187,16 @@ func (p *pipe) start() {
 		p.wg.Add(1)
 		go func() {
 			defer p.wg.Done()
+			t := newDrainedTimer()
+			defer t.Stop()
 			for {
 				select {
 				case <-p.stop:
 					return
 				case tf := <-delayCh:
 					if d := time.Until(tf.deliverAt); d > 0 {
-						select {
-						case <-p.stop:
+						if !p.waitTimer(t, d) {
 							return
-						case <-time.After(d):
 						}
 					}
 					p.packets.Add(1)
@@ -174,6 +209,8 @@ func (p *pipe) start() {
 	p.wg.Add(1)
 	go func() {
 		defer p.wg.Done()
+		t := newDrainedTimer()
+		defer t.Stop()
 		for {
 			select {
 			case <-p.stop:
@@ -182,10 +219,8 @@ func (p *pipe) start() {
 				if p.cfg.Bandwidth > 0 {
 					txTime := time.Duration(float64(len(frame)*8) / p.cfg.Bandwidth * float64(time.Second))
 					if txTime > 0 {
-						select {
-						case <-p.stop:
+						if !p.waitTimer(t, txTime) {
 							return
-						case <-time.After(txTime):
 						}
 					}
 				}

@@ -243,6 +243,14 @@ func (d *Detector) probeLoop(ee, addr string) {
 	defer d.wg.Done()
 	ticker := time.NewTicker(d.cfg.ProbeInterval)
 	defer ticker.Stop()
+	// One probe-deadline timer for the lifetime of the loop, re-armed per
+	// probe: a long soak otherwise allocates a fresh time.After timer
+	// every tick for every EE.
+	deadline := time.NewTimer(time.Hour)
+	if !deadline.Stop() {
+		<-deadline.C
+	}
+	defer deadline.Stop()
 	var client *vnfagent.Client
 	defer func() {
 		if client != nil {
@@ -261,7 +269,7 @@ func (d *Detector) probeLoop(ee, addr string) {
 			client, _ = vnfagent.DialClient(addr)
 		}
 		if client != nil {
-			if err := d.probe(client); err == nil {
+			if err := d.probe(client, deadline); err == nil {
 				ok = true
 			} else if !vnfagent.IsRPCError(err) {
 				// Broken transport (or wedged agent, closed by probe):
@@ -308,17 +316,22 @@ func (d *Detector) probeLoop(ee, addr string) {
 // has no read timeout, so a wedged-but-connected agent would otherwise
 // block this loop forever (and with it Stop's wg.Wait). On timeout the
 // session is closed, which also unblocks the in-flight read so the
-// helper goroutine exits.
-func (d *Detector) probe(client *vnfagent.Client) error {
+// helper goroutine exits. The caller owns deadline (stopped and drained
+// between probes) so each tick re-arms one timer instead of allocating.
+func (d *Detector) probe(client *vnfagent.Client, deadline *time.Timer) error {
 	done := make(chan error, 1)
 	go func() {
 		_, err := client.GetVNFInfo()
 		done <- err
 	}()
+	deadline.Reset(d.cfg.ProbeTimeout)
 	select {
 	case err := <-done:
+		if !deadline.Stop() {
+			<-deadline.C
+		}
 		return err
-	case <-time.After(d.cfg.ProbeTimeout):
+	case <-deadline.C:
 		client.Close()
 		<-done // reaped: the closed conn fails the pending read
 		return fmt.Errorf("resilience: liveness probe timed out after %v", d.cfg.ProbeTimeout)

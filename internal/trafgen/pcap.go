@@ -114,14 +114,15 @@ func Capture(h *netem.Host, w io.Writer, d time.Duration) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	deadline := time.After(d)
+	deadline := time.NewTimer(d)
+	defer deadline.Stop()
 	for {
 		select {
 		case rx := <-h.Recv():
 			if err := pw.WriteFrame(time.Now(), rx.Frame); err != nil {
 				return pw.Count(), err
 			}
-		case <-deadline:
+		case <-deadline.C:
 			return pw.Count(), nil
 		}
 	}

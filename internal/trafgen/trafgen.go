@@ -52,7 +52,8 @@ func (p *Pinger) Resolve(dst netip.Addr, timeout time.Duration) (pkt.MAC, error)
 	if err := p.Host.Send(req); err != nil {
 		return pkt.MAC{}, err
 	}
-	deadline := time.After(timeout)
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
 	for {
 		select {
 		case rx := <-p.Host.Recv():
@@ -61,7 +62,7 @@ func (p *Pinger) Resolve(dst netip.Addr, timeout time.Duration) (pkt.MAC, error)
 					return a.SenderMAC, nil
 				}
 			}
-		case <-deadline:
+		case <-deadline.C:
 			return pkt.MAC{}, fmt.Errorf("trafgen: ARP for %s timed out", dst)
 		}
 	}
@@ -76,6 +77,13 @@ func (p *Pinger) Ping(dstIP netip.Addr, dstMAC pkt.MAC, count int, interval, tim
 	}
 	var stats PingStats
 	payload := []byte("escape-ping-payload-0123456789")
+	// One reply-deadline timer reused across all echo sequences: Reset
+	// per probe instead of a fresh time.After allocation per iteration.
+	deadline := time.NewTimer(timeout)
+	if !deadline.Stop() {
+		<-deadline.C
+	}
+	defer deadline.Stop()
 	for seq := 1; seq <= count; seq++ {
 		frame, err := pkt.BuildICMPEcho(p.Host.MAC(), dstMAC, p.Host.IP(), dstIP,
 			pkt.ICMPEchoRequest, ident, uint16(seq), payload)
@@ -87,8 +95,8 @@ func (p *Pinger) Ping(dstIP netip.Addr, dstMAC pkt.MAC, count int, interval, tim
 			return stats, err
 		}
 		stats.Sent++
-		deadline := time.After(timeout)
-		got := false
+		deadline.Reset(timeout)
+		got, expired := false, false
 		for !got {
 			select {
 			case rx := <-p.Host.Recv():
@@ -107,9 +115,12 @@ func (p *Pinger) Ping(dstIP netip.Addr, dstMAC pkt.MAC, count int, interval, tim
 				}
 				stats.AvgRTT += rtt
 				got = true
-			case <-deadline:
-				got = true // lost
+			case <-deadline.C:
+				got, expired = true, true // lost
 			}
+		}
+		if !expired && !deadline.Stop() {
+			<-deadline.C // drain so the next Reset starts clean
 		}
 		if seq < count {
 			time.Sleep(interval)
@@ -196,7 +207,8 @@ type Sink struct {
 func (s *Sink) Collect(d time.Duration) LoadReport {
 	var rep LoadReport
 	start := time.Now()
-	deadline := time.After(d)
+	deadline := time.NewTimer(d)
+	defer deadline.Stop()
 	for {
 		select {
 		case rx := <-s.Host.Recv():
@@ -210,7 +222,7 @@ func (s *Sink) Collect(d time.Duration) LoadReport {
 			}
 			rep.Packets++
 			rep.Bytes += len(rx.Frame)
-		case <-deadline:
+		case <-deadline.C:
 			rep.Duration = time.Since(start)
 			return rep
 		}
@@ -222,7 +234,8 @@ func (s *Sink) Collect(d time.Duration) LoadReport {
 func (s *Sink) CollectN(n int, timeout time.Duration) LoadReport {
 	var rep LoadReport
 	start := time.Now()
-	deadline := time.After(timeout)
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
 	for rep.Packets < n {
 		select {
 		case rx := <-s.Host.Recv():
@@ -236,7 +249,7 @@ func (s *Sink) CollectN(n int, timeout time.Duration) LoadReport {
 			}
 			rep.Packets++
 			rep.Bytes += len(rx.Frame)
-		case <-deadline:
+		case <-deadline.C:
 			rep.Duration = time.Since(start)
 			return rep
 		}
