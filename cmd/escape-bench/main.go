@@ -16,6 +16,7 @@
 //	escape-bench -e e14 -e14json BENCH_E14.json           # flowsim smoke
 //	escape-bench -e e14 -e14full                          # 100k switches, 1M services
 //	escape-bench -e e14 -e14regions 10 -e14sw 200 -e14services 5000
+//	escape-bench -e e14 -e14workers 8 -e14json BENCH_E14.json   # parallel player + determinism gate
 //	escape-bench -quick          # reduced parameters (CI-friendly)
 //	escape-bench -e e12 -cpuprofile cpu.out -memprofile mem.out
 package main
@@ -82,6 +83,7 @@ func main() {
 	e14services := flag.Int("e14services", 0, "override E14 service count")
 	e14faults := flag.Int("e14faults", 4, "E14 backbone link fail/heal pairs per cell")
 	e14procs := flag.String("e14procs", "", "E14 arrival-process subset (diurnal,flash,pareto), default all")
+	e14workers := flag.Int("e14workers", 0, "E14 parallel-player worker count (adds a workers=N row per cell; fails if any parallel report diverges from serial)")
 	e14json := flag.String("e14json", "", "write E14 rows as JSON (BENCH_E14.json CI artifact) to this file")
 	quick := flag.Bool("quick", false, "reduced parameter sets")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
@@ -223,6 +225,9 @@ func main() {
 					cfg.Processes = append(cfg.Processes, substrate.ArrivalProcess(strings.TrimSpace(p)))
 				}
 			}
+			if *e14workers > 1 {
+				cfg.Workers = *e14workers
+			}
 			return experiments.E14ScaleSim(cfg)
 		}},
 	}
@@ -248,11 +253,25 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "escape-bench: wrote %s\n", *e13json)
 		}
-		if e.id == "e14" && *e14json != "" {
-			if err := experiments.WriteE14JSON(tbl, *e14json); err != nil {
-				fatal(fmt.Errorf("e14json: %w", err))
+		if e.id == "e14" {
+			// The parallel-determinism gate: any workers>1 row whose
+			// report diverged from the serial replay is a correctness
+			// failure, not a perf observation.
+			rows, err := experiments.E14JSON(tbl)
+			if err != nil {
+				fatal(fmt.Errorf("e14: %w", err))
 			}
-			fmt.Fprintf(os.Stderr, "escape-bench: wrote %s\n", *e14json)
+			for _, r := range rows {
+				if !r.ParallelMatch {
+					fatal(fmt.Errorf("e14: %s workers=%d parallel report diverged from serial (parallel_match=false)", r.Process, r.Workers))
+				}
+			}
+			if *e14json != "" {
+				if err := experiments.WriteE14JSON(tbl, *e14json); err != nil {
+					fatal(fmt.Errorf("e14json: %w", err))
+				}
+				fmt.Fprintf(os.Stderr, "escape-bench: wrote %s\n", *e14json)
+			}
 		}
 		ran++
 	}

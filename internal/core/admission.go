@@ -140,6 +140,22 @@ func (rv *ResourceView) mapValidateCommit(m Mapper, g *sg.Graph) (*Mapping, erro
 		g.Name, admitFallbackRetries)
 }
 
+// TryCommitMapping validates and commits an externally computed mapping
+// against the current epoch without re-running any mapper: the seam the
+// parallel scenario player uses to merge speculative Map results in
+// trace order. A false return with nil error is a validation conflict
+// (the caller should re-map, typically via AdmitAndCommit); a non-nil
+// error is a permanent commit-gate rejection.
+func (rv *ResourceView) TryCommitMapping(m *Mapping) (bool, error) {
+	ok, err := rv.tryCommit(m)
+	if ok {
+		rv.stats.admitted.Add(1)
+	} else if err == nil {
+		rv.stats.conflicts.Add(1)
+	}
+	return ok, err
+}
+
 // tryCommit validates a mapping against the current epoch — only the
 // resources it touches — and publishes the commit if everything still
 // fits. A false return with nil error is a validation conflict (re-map

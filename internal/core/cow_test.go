@@ -248,7 +248,7 @@ func TestConcurrentHealAdmitMaskEpochs(t *testing.T) {
 				t.Errorf("heal %d: %v", i, err)
 				return
 			}
-			current = current.withPlan(plan)
+			current = current.WithPlan(plan)
 		}
 		healed = current
 	}()

@@ -81,6 +81,31 @@ func (rv *ResourceView) AdmitHeal(m *Mapping, eeDown func(string) bool, linkDown
 		m.Graph.Name, admitFallbackRetries)
 }
 
+// PlanHeal computes a healing delta lock-free against a pinned epoch
+// without committing it: the speculative half of AdmitHeal, exposed so
+// the parallel scenario player can plan heals for many services
+// concurrently and merge them in deterministic order through
+// TryCommitHealPlan.
+func (rv *ResourceView) PlanHeal(m *Mapping, eeDown func(string) bool, linkDown func(a, b string) bool) (*HealPlan, error) {
+	return rv.planHeal(m, eeDown, linkDown)
+}
+
+// TryCommitHealPlan validates and publishes a previously computed
+// healing delta against the current epoch. Empty plans trivially
+// succeed. A false return is a validation conflict: the caller should
+// re-plan on fresher state (typically via AdmitHeal).
+func (rv *ResourceView) TryCommitHealPlan(m *Mapping, plan *HealPlan) bool {
+	if plan.Empty() {
+		return true
+	}
+	if rv.tryCommitHeal(m, plan) {
+		rv.stats.admitted.Add(1)
+		return true
+	}
+	rv.stats.conflicts.Add(1)
+	return false
+}
+
 // planHeal computes the healing delta lock-free against a pinned epoch.
 func (rv *ResourceView) planHeal(m *Mapping, eeDown func(string) bool, linkDown func(a, b string) bool) (*HealPlan, error) {
 	plan := &HealPlan{
@@ -415,7 +440,7 @@ func (o *Orchestrator) Heal(name string, eeDown func(string) bool, linkDown func
 		// The view already reflects the healed mapping: pin it to the
 		// service before any fallible step, so a teardown on a later
 		// error releases exactly what is committed.
-		healed := current.withPlan(plan)
+		healed := current.WithPlan(plan)
 		svc.setMapping(healed)
 		current = healed
 		svc.nfMu.Lock()
@@ -557,10 +582,10 @@ func (o *Orchestrator) stopDeployedNFs(deps []*DeployedNF) {
 	}
 }
 
-// withPlan derives the healed mapping: a fresh Mapping with the plan's
+// WithPlan derives the healed mapping: a fresh Mapping with the plan's
 // moves and re-routes applied (the original is left untouched for
 // readers holding it).
-func (m *Mapping) withPlan(plan *HealPlan) *Mapping {
+func (m *Mapping) WithPlan(plan *HealPlan) *Mapping {
 	nm := &Mapping{
 		Graph:      m.Graph,
 		Placements: make(map[string]string, len(m.Placements)),

@@ -124,10 +124,12 @@ type mapContext struct {
 	chainsSet bool
 }
 
-// chainList returns the graph's chains, computed once.
+// chainList returns the graph's chains, computed once. The graph was
+// validated by newMapContext, so the re-validating Chains entry point
+// would only repeat work on the admission hot path.
 func (mc *mapContext) chainList() ([]*sg.Chain, error) {
 	if !mc.chainsSet {
-		mc.chains, mc.chainsErr = mc.g.Chains()
+		mc.chains, mc.chainsErr = mc.g.ChainsUnchecked()
 		mc.chainsSet = true
 	}
 	return mc.chains, mc.chainsErr

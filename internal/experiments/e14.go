@@ -17,10 +17,13 @@ import (
 // what lets one cell hold 100k switches and a million concurrent
 // services where netem tops out around fat-tree k=12.
 //
-// Every reported metric derives from virtual time and deterministic
-// iteration: two runs of the same configuration produce bit-identical
-// tables (TestE14BitIdentical), which is also why no wall-clock column
-// appears — wall time goes to Notes.
+// Every decision/traffic metric derives from virtual time and
+// deterministic iteration: two runs of the same configuration produce
+// bit-identical rows (TestE14BitIdentical) in every column except the
+// two that measure the machine rather than the model — wall_ms and
+// speedup. With Workers > 1 each cell runs twice (serial, then the
+// parallel player on a fresh simulator and view) and the parallel
+// row's par_match column asserts the two reports were bit-identical.
 
 // E14Config sizes one run. The zero value is replaced by quick-mode
 // defaults; cmd/escape-bench exposes the full-scale knobs.
@@ -46,6 +49,13 @@ type E14Config struct {
 	// re-steers affected services through core.AdmitHeal).
 	Faults int
 	Seed   int64
+	// Workers > 1 additionally replays every cell through the parallel
+	// scenario player (substrate.PlayOptions.Workers) on a fresh
+	// simulator and view, emitting a second row per cell with the
+	// measured wall-clock speedup and a parallel_match bit asserting
+	// the parallel report is bit-identical to the serial one. 0 or 1 =
+	// serial rows only.
+	Workers int
 	// Processes selects the arrival-process cells (default all three).
 	Processes []substrate.ArrivalProcess
 }
@@ -132,26 +142,16 @@ func E14ScaleSim(cfg E14Config) (*Table, error) {
 			cfg.Regions*cfg.SwitchesPerRegion, cfg.Services, cfg.ChainLen),
 		Columns: []string{"proc", "sw", "links", "saps", "ees", "services",
 			"admitted", "rejected", "heal_mv", "rerouted", "peak_act",
-			"dlv_pct", "max_util", "overload", "virt_h"},
+			"dlv_pct", "max_util", "overload", "virt_h",
+			"workers", "par_match", "wall_ms", "speedup"},
 		Notes: []string{
-			"all metrics virtual-time derived: same config + seed ⇒ bit-identical rows",
+			"model metrics virtual-time derived: same config + seed ⇒ bit-identical rows (wall_ms/speedup measure the machine)",
 			"same mapper/admission/heal code as E9/E11/E12 — only the substrate is analytic",
+			"par_match: the parallel player's report is bit-identical to the serial one for this cell",
 		},
 	}
 
 	for _, proc := range cfg.Processes {
-		wall := time.Now()
-		sim, err := flowsim.New(spec, flowsim.Options{})
-		if err != nil {
-			return nil, err
-		}
-		if err := sim.Start(); err != nil {
-			return nil, err
-		}
-		rv, err := sim.View()
-		if err != nil {
-			return nil, err
-		}
 		events := substrate.GenerateWorkload(substrate.WorkloadParams{
 			Seed: cfg.Seed, Process: proc, Services: cfg.Services,
 			Horizon: cfg.Horizon, MeanLifetime: cfg.MeanLifetime,
@@ -169,34 +169,91 @@ func E14ScaleSim(cfg E14Config) (*Table, error) {
 			events = substrate.WithLinkFaults(events, backbone, cfg.Faults,
 				cfg.Seed+1, cfg.Horizon, cfg.Horizon/20)
 		}
-		rep, err := substrate.PlayScenario(sim, rv, substrate.DefaultMapper(), events, substrate.PlayOptions{
-			Traffic: true, HealOnFault: true, LinkBW: cfg.LinkBW,
-		})
+
+		serial, err := runE14Cell(spec, events, cfg, 1)
 		if err != nil {
 			return nil, err
 		}
-		lrep := sim.Report()
-		vdur := sim.Now()
-		sim.Stop()
+		addE14Row(t, spec, cfg, string(proc), serial, 1, true, 1.0)
+		t.Notes = append(t.Notes, fmt.Sprintf("%s serial wall: %v", proc, serial.wall.Round(time.Millisecond)))
 
-		t.AddRow(
-			string(proc),
-			fmt.Sprintf("%d", len(spec.Switches)),
-			fmt.Sprintf("%d", len(spec.Links)),
-			fmt.Sprintf("%d", len(spec.Hosts)),
-			fmt.Sprintf("%d", len(spec.EEs)),
-			fmt.Sprintf("%d", cfg.Services),
-			fmt.Sprintf("%d", rep.Admitted),
-			fmt.Sprintf("%d", rep.Rejected),
-			fmt.Sprintf("%d", rep.HealMoves),
-			fmt.Sprintf("%d", rep.Rerouted),
-			fmt.Sprintf("%d", rep.PeakActive),
-			fmt.Sprintf("%.3f", rep.DeliveredPct()),
-			fmt.Sprintf("%.3f", lrep.MaxUtilization),
-			fmt.Sprintf("%d", lrep.Overloaded),
-			fmt.Sprintf("%.2f", vdur.Hours()),
-		)
-		t.Notes = append(t.Notes, fmt.Sprintf("%s cell wall time: %v", proc, time.Since(wall).Round(time.Millisecond)))
+		if cfg.Workers > 1 {
+			par, err := runE14Cell(spec, events, cfg, cfg.Workers)
+			if err != nil {
+				return nil, err
+			}
+			match := serial.rep.Equal(par.rep)
+			speedup := 0.0
+			if par.wall > 0 {
+				speedup = float64(serial.wall) / float64(par.wall)
+			}
+			addE14Row(t, spec, cfg, string(proc), par, cfg.Workers, match, speedup)
+			t.Notes = append(t.Notes, fmt.Sprintf("%s parallel wall (%d workers): %v", proc, cfg.Workers, par.wall.Round(time.Millisecond)))
+		}
 	}
 	return t, nil
+}
+
+// e14Cell is one play of one cell's trace: the report, the link-level
+// observations, the virtual duration and the wall clock spent inside
+// PlayScenario (topology/trace construction excluded — both runs share
+// them).
+type e14Cell struct {
+	rep  *substrate.PlayReport
+	lrep flowsim.LinkReport
+	vdur time.Duration
+	wall time.Duration
+}
+
+// runE14Cell plays one trace on a fresh simulator and view with the
+// given worker count.
+func runE14Cell(spec *substrate.TopoSpec, events []substrate.ScenarioEvent, cfg E14Config, workers int) (*e14Cell, error) {
+	sim, err := flowsim.New(spec, flowsim.Options{})
+	if err != nil {
+		return nil, err
+	}
+	if err := sim.Start(); err != nil {
+		return nil, err
+	}
+	rv, err := sim.View()
+	if err != nil {
+		return nil, err
+	}
+	wall := time.Now()
+	rep, err := substrate.PlayScenario(sim, rv, substrate.DefaultMapper(), events, substrate.PlayOptions{
+		Traffic: true, HealOnFault: true, LinkBW: cfg.LinkBW, Workers: workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(wall)
+	lrep := sim.Report()
+	vdur := sim.Now()
+	sim.Stop()
+	return &e14Cell{rep: rep, lrep: lrep, vdur: vdur, wall: elapsed}, nil
+}
+
+// addE14Row renders one cell run as a table row.
+func addE14Row(t *Table, spec *substrate.TopoSpec, cfg E14Config, proc string, c *e14Cell, workers int, match bool, speedup float64) {
+	t.AddRow(
+		proc,
+		fmt.Sprintf("%d", len(spec.Switches)),
+		fmt.Sprintf("%d", len(spec.Links)),
+		fmt.Sprintf("%d", len(spec.Hosts)),
+		fmt.Sprintf("%d", len(spec.EEs)),
+		fmt.Sprintf("%d", cfg.Services),
+		fmt.Sprintf("%d", c.rep.Admitted),
+		fmt.Sprintf("%d", c.rep.Rejected),
+		fmt.Sprintf("%d", c.rep.HealMoves),
+		fmt.Sprintf("%d", c.rep.Rerouted),
+		fmt.Sprintf("%d", c.rep.PeakActive),
+		fmt.Sprintf("%.3f", c.rep.DeliveredPct()),
+		fmt.Sprintf("%.3f", c.lrep.MaxUtilization),
+		fmt.Sprintf("%d", c.lrep.Overloaded),
+		fmt.Sprintf("%.2f", c.vdur.Hours()),
+		fmt.Sprintf("%d", workers),
+		fmt.Sprintf("%t", match),
+		fmt.Sprintf("%.1f", float64(c.wall)/float64(time.Millisecond)),
+		fmt.Sprintf("%.2f", speedup),
+	)
 }

@@ -8,29 +8,36 @@ import (
 )
 
 // E14Row is one machine-readable E14 cell, the row schema of the
-// BENCH_E14.json CI artifact. Every field derives from virtual time, so
-// the artifact is byte-stable for a fixed config and seed.
+// BENCH_E14.json CI artifact. Every field except WallMS and Speedup
+// derives from virtual time, so those columns of the artifact are
+// byte-stable for a fixed config and seed. ParallelMatch is the CI
+// determinism gate: on parallel rows it asserts the parallel player
+// reproduced the serial report bit for bit.
 type E14Row struct {
-	Process      string  `json:"process"`
-	Switches     int     `json:"switches"`
-	Links        int     `json:"links"`
-	SAPs         int     `json:"saps"`
-	EEs          int     `json:"ees"`
-	Services     int     `json:"services"`
-	Admitted     int     `json:"admitted"`
-	Rejected     int     `json:"rejected"`
-	HealMoves    int     `json:"heal_moves"`
-	Rerouted     int     `json:"rerouted"`
-	PeakActive   int     `json:"peak_active"`
-	DeliveredPct float64 `json:"delivered_pct"`
-	MaxUtil      float64 `json:"max_util"`
-	Overloaded   int     `json:"overloaded"`
-	VirtHours    float64 `json:"virt_hours"`
+	Process       string  `json:"process"`
+	Switches      int     `json:"switches"`
+	Links         int     `json:"links"`
+	SAPs          int     `json:"saps"`
+	EEs           int     `json:"ees"`
+	Services      int     `json:"services"`
+	Admitted      int     `json:"admitted"`
+	Rejected      int     `json:"rejected"`
+	HealMoves     int     `json:"heal_moves"`
+	Rerouted      int     `json:"rerouted"`
+	PeakActive    int     `json:"peak_active"`
+	DeliveredPct  float64 `json:"delivered_pct"`
+	MaxUtil       float64 `json:"max_util"`
+	Overloaded    int     `json:"overloaded"`
+	VirtHours     float64 `json:"virt_hours"`
+	Workers       int     `json:"workers"`
+	ParallelMatch bool    `json:"parallel_match"`
+	WallMS        float64 `json:"wall_ms"`
+	Speedup       float64 `json:"speedup"`
 }
 
 // E14JSON converts a rendered E14 table into its artifact rows.
 func E14JSON(t *Table) ([]E14Row, error) {
-	if len(t.Columns) < 15 {
+	if len(t.Columns) < 19 {
 		return nil, fmt.Errorf("experiments: table %s does not have E14's column set", t.ID)
 	}
 	rows := make([]E14Row, 0, len(t.Rows))
@@ -45,10 +52,14 @@ func E14JSON(t *Table) ([]E14Row, error) {
 			ints = append(ints, v)
 		}
 		over, errOver := strconv.Atoi(r[13])
+		workers, errW := strconv.Atoi(r[15])
 		dlv, err1 := strconv.ParseFloat(r[11], 64)
 		util, err2 := strconv.ParseFloat(r[12], 64)
 		vh, err3 := strconv.ParseFloat(r[14], 64)
-		for _, err := range []error{errInt, errOver, err1, err2, err3} {
+		match, errM := strconv.ParseBool(r[16])
+		wallMS, err4 := strconv.ParseFloat(r[17], 64)
+		speedup, err5 := strconv.ParseFloat(r[18], 64)
+		for _, err := range []error{errInt, errOver, errW, err1, err2, err3, errM, err4, err5} {
 			if err != nil {
 				return nil, fmt.Errorf("experiments: bad E14 row %v: %w", r, err)
 			}
@@ -59,6 +70,7 @@ func E14JSON(t *Table) ([]E14Row, error) {
 			Services: ints[4], Admitted: ints[5], Rejected: ints[6],
 			HealMoves: ints[7], Rerouted: ints[8], PeakActive: ints[9],
 			DeliveredPct: dlv, MaxUtil: util, Overloaded: over, VirtHours: vh,
+			Workers: workers, ParallelMatch: match, WallMS: wallMS, Speedup: speedup,
 		})
 	}
 	return rows, nil

@@ -26,6 +26,6 @@ func Registry() []Registered {
 		{"e11", func() (*Table, error) { return E11SelfHealing([]int{1}, 2, 2) }},
 		{"e12", func() (*Table, error) { return E12Admission([]int{4}, []int{4}, 2) }},
 		{"e13", func() (*Table, error) { return E13ControlPlane(2, 3, 2) }},
-		{"e14", func() (*Table, error) { return E14ScaleSim(E14Config{Faults: 2}) }},
+		{"e14", func() (*Table, error) { return E14ScaleSim(E14Config{Faults: 2, Workers: 2}) }},
 	}
 }

@@ -1,0 +1,352 @@
+// Batch mode: the sharded, parallel flush path behind the serial flow
+// API.
+//
+// The fluid model has no cross-link coupling — a simLink's trajectory
+// (offered rate, up/down episodes, the log/down/delay integrals) is a
+// pure function of its own timestamped operation sequence. Batch mode
+// exploits that: instead of settling links synchronously, StartFlow /
+// StopFlowDeferred / FailLink / HealLink append operations to per-link
+// queues (in call order, which is trace order), and FlushBatch replays
+// every queue with exactly the serial code (settle/addRate), shard by
+// shard on a worker pool. Because each link replays its own ops in the
+// same order with the same float arithmetic the serial path would have
+// used, every integral — and therefore every reported metric — is
+// bit-identical to the single-threaded run, for any worker count.
+//
+// Sharding is a topology partition: links whose switch names carry a
+// ScaleSpec region prefix ("r<n>s...") group by region, everything else
+// falls back to a deterministic FNV edge-cut. Shard assignment depends
+// only on the spec, never on the worker count, so the parallel
+// decomposition itself cannot perturb results; shards exist purely to
+// give workers cache-friendly, contention-free slices of the network.
+//
+// Flow statistics reconcile in two phases. Phase one applies per-shard
+// op queues in parallel: each start op records the link's integral
+// snapshot into the flow's per-hop slot, each stop op records the
+// settled integrals (slots are disjoint array elements, so cross-shard
+// flows need no locks). Phase two — the deterministic boundary
+// reconciliation — combines each stopped flow's per-hop deltas in route
+// order with the exact summation order of the serial StopFlow, so a
+// flow whose route crosses many shards still accumulates its geometric
+// delivery ratio and delay integrals identically.
+package flowsim
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sync"
+	"time"
+
+	"escape/internal/substrate"
+)
+
+func errNoFlow(id string) error { return fmt.Errorf("flowsim: no flow %q", id) }
+
+// opKind discriminates one queued link operation.
+type opKind uint8
+
+const (
+	opStart opKind = iota // addRate(+rate), then snapshot integrals into flow slot
+	opStop                // settle, record integrals into flow stop slot, addRate(-rate)
+	opDown                // settle, mark down
+	opUp                  // settle, mark up
+)
+
+// linkOp is one deferred operation on a link, replayed at flush time in
+// append (= trace) order.
+type linkOp struct {
+	at   time.Duration
+	kind opKind
+	rate float64
+	f    *simFlow
+	idx  int32 // hop index within f.links for opStart/opStop
+}
+
+// batchState holds everything batch mode adds to a Sim.
+type batchState struct {
+	workers int
+	shards  [][]*simLink // deterministic partition of all directed links
+	dirty   []*simLink   // links with queued ops, in first-touch order
+	stops   []pendingStop
+}
+
+type pendingStop struct {
+	f *simFlow
+	h *substrate.DeferredStats
+}
+
+// batch-mode extensions of simFlow: stop-time integral records, written
+// by flush workers into disjoint slots.
+type flowStops struct {
+	at    time.Duration
+	log   []float64
+	delay []float64
+	down  []time.Duration
+}
+
+// BeginBatch switches the simulator into deferred-accounting mode (and
+// is idempotent; a later call only retunes the worker count). Flow and
+// fault calls queue per-link operations instead of settling link state
+// synchronously; FlushBatch replays them — sharded, in parallel — with
+// bit-identical results. Implements substrate.FlowBatcher.
+func (s *Sim) BeginBatch(workers int) {
+	if workers < 1 {
+		workers = 1
+	}
+	if s.batch == nil {
+		s.batch = &batchState{shards: s.shardLinks()}
+	}
+	s.batch.workers = workers
+}
+
+// shardLinks partitions the directed links deterministically: by
+// ScaleSpec region when switch names parse as "r<region>s…", by FNV
+// hash of the endpoint names otherwise. The shard count is fixed
+// (independent of the worker count), so the partition is a pure
+// function of the spec.
+func (s *Sim) shardLinks() [][]*simLink {
+	shards := make([][]*simLink, numShards)
+	// Iterate spec links (stable order) rather than the map.
+	for _, l := range s.spec.Links {
+		for _, key := range [2][2]string{{l.A, l.B}, {l.B, l.A}} {
+			sl := s.links[key]
+			if sl == nil {
+				continue
+			}
+			sl.shard = shardOf(key[0], key[1])
+			shards[sl.shard] = append(shards[sl.shard], sl)
+		}
+	}
+	return shards
+}
+
+// numShards is fixed and generous: enough slices to balance any sane
+// worker count, few enough that the flush scheduling overhead stays
+// negligible.
+const numShards = 64
+
+// shardOf picks the shard for a directed link. Region-prefixed switch
+// names ("r3s17") keep a region's links together; the FNV fallback is
+// the deterministic edge-cut for arbitrary topologies.
+func shardOf(a, b string) int {
+	if r, ok := regionOf(a); ok {
+		return r % numShards
+	}
+	h := fnv.New32a()
+	h.Write([]byte(a))
+	h.Write([]byte{0})
+	h.Write([]byte(b))
+	return int(h.Sum32() % numShards)
+}
+
+// regionOf parses the ScaleSpec region prefix "r<digits>s…".
+func regionOf(name string) (int, bool) {
+	if len(name) < 3 || name[0] != 'r' {
+		return 0, false
+	}
+	n, i := 0, 1
+	for ; i < len(name); i++ {
+		c := name[i]
+		if c < '0' || c > '9' {
+			break
+		}
+		n = n*10 + int(c-'0')
+	}
+	if i == 1 || i >= len(name) || name[i] != 's' {
+		return 0, false
+	}
+	return n, true
+}
+
+// enqueue appends one op to a link's queue, tracking first-touch dirty
+// order.
+func (s *Sim) enqueue(l *simLink, op linkOp) {
+	if len(l.ops) == 0 {
+		s.batch.dirty = append(s.batch.dirty, l)
+	}
+	l.ops = append(l.ops, op)
+}
+
+// StopFlowDeferred removes a flow from the active set (existence is
+// checked synchronously, exactly like StopFlow) and queues its stop
+// accounting; the returned handle carries the flow's FlowStats after
+// the next FlushBatch. Implements substrate.FlowBatcher.
+func (s *Sim) StopFlowDeferred(id string) (*substrate.DeferredStats, error) {
+	if s.batch == nil {
+		st, err := s.StopFlow(id)
+		if err != nil {
+			return nil, err
+		}
+		return &substrate.DeferredStats{Stats: st}, nil
+	}
+	f := s.flows[id]
+	if f == nil {
+		return nil, errNoFlow(id)
+	}
+	delete(s.flows, id)
+	n := len(f.links)
+	f.stop = &flowStops{
+		at:    s.now,
+		log:   make([]float64, n),
+		delay: make([]float64, n),
+		down:  make([]time.Duration, n),
+	}
+	for i, l := range f.links {
+		s.enqueue(l, linkOp{at: s.now, kind: opStop, rate: f.spec.Rate, f: f, idx: int32(i)})
+	}
+	h := &substrate.DeferredStats{}
+	s.batch.stops = append(s.batch.stops, pendingStop{f: f, h: h})
+	return h, nil
+}
+
+// FlushBatch replays every queued link operation — sharded, on the
+// batch worker pool — and resolves the FlowStats of every deferred
+// stop. The simulator stays in batch mode; subsequent ops begin a new
+// batch window. Implements substrate.FlowBatcher.
+func (s *Sim) FlushBatch() error {
+	b := s.batch
+	if b == nil || (len(b.dirty) == 0 && len(b.stops) == 0) {
+		return nil
+	}
+	// Phase 1: per-shard op replay. Workers claim shards; links within a
+	// shard replay their queues in append (trace) order. Links in
+	// distinct shards share no state, and flow snapshot slots are
+	// disjoint per (flow, hop), so the phase is race-free by
+	// construction and its results are independent of scheduling.
+	s.runSharded(b, func(l *simLink) {
+		for i := range l.ops {
+			op := &l.ops[i]
+			switch op.kind {
+			case opStart:
+				l.addRate(op.at, op.rate, s.opts)
+				op.f.snapLog[op.idx] = l.logAccum
+				op.f.snapDown[op.idx] = l.downAccum
+				op.f.snapDelay[op.idx] = l.delayAccum
+			case opStop:
+				l.settle(op.at, s.opts)
+				st := op.f.stop
+				st.log[op.idx] = l.logAccum
+				st.delay[op.idx] = l.delayAccum
+				st.down[op.idx] = l.downAccum
+				l.addRate(op.at, -op.rate, s.opts)
+			case opDown:
+				l.settle(op.at, s.opts)
+				l.down = true
+			case opUp:
+				l.settle(op.at, s.opts)
+				l.down = false
+			}
+		}
+		l.ops = l.ops[:0]
+	})
+	b.dirty = b.dirty[:0]
+
+	// Phase 2: deterministic reconciliation — per-flow stats from the
+	// per-hop integral deltas, summed in route order (the serial
+	// StopFlow's exact arithmetic). Flows are independent; parallelize
+	// over the stop list, each worker writing only its own handles.
+	stops := b.stops
+	b.stops = nil
+	parallelRange(b.workers, len(stops), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			stops[i].h.Stats = stops[i].f.resolveStats(s.opts)
+		}
+	})
+	return nil
+}
+
+// runSharded replays dirty links, grouped by shard, on the worker pool.
+func (s *Sim) runSharded(b *batchState, apply func(*simLink)) {
+	if b.workers <= 1 {
+		for _, l := range b.dirty {
+			apply(l)
+		}
+		return
+	}
+	// Partition the dirty set by shard so one worker owns all of a
+	// shard's dirty links.
+	byShard := make([][]*simLink, numShards)
+	for _, l := range b.dirty {
+		byShard[l.shard] = append(byShard[l.shard], l)
+	}
+	work := make(chan []*simLink, numShards)
+	for _, ls := range byShard {
+		if len(ls) > 0 {
+			work <- ls
+		}
+	}
+	close(work)
+	var wg sync.WaitGroup
+	for w := 0; w < b.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ls := range work {
+				for _, l := range ls {
+					apply(l)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// parallelRange splits [0,n) into contiguous chunks across workers.
+func parallelRange(workers, n int, f func(lo, hi int)) {
+	if n == 0 {
+		return
+	}
+	if workers <= 1 || n < 2*workers {
+		f(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			f(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// resolveStats derives a stopped flow's FlowStats from the recorded
+// start/stop integral snapshots — term for term the same arithmetic,
+// in the same order, as the serial StopFlow.
+func (f *simFlow) resolveStats(opts Options) substrate.FlowStats {
+	life := f.stop.at - f.start
+	lifeSec := life.Seconds()
+	var logSum, delaySum float64
+	var downSum time.Duration
+	for i := range f.links {
+		logSum += f.stop.log[i] - f.snapLog[i]
+		delaySum += f.stop.delay[i] - f.snapDelay[i]
+		downSum += f.stop.down[i] - f.snapDown[i]
+	}
+	st := substrate.FlowStats{
+		OfferedBits: f.spec.Rate * lifeSec,
+		Duration:    life,
+	}
+	if lifeSec <= 0 {
+		st.AvgDelay = f.prop
+		return st
+	}
+	upSec := lifeSec - downSum.Seconds()
+	if upSec < 0 {
+		upSec = 0
+	}
+	if upSec > 0 {
+		st.DeliveredBits = f.spec.Rate * upSec * math.Exp(logSum/upSec)
+		st.AvgDelay = f.prop + time.Duration(delaySum/upSec*float64(time.Second))
+	} else {
+		st.AvgDelay = f.prop
+	}
+	return st
+}

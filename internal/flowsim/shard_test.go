@@ -1,0 +1,268 @@
+package flowsim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"escape/internal/substrate"
+)
+
+// Batch-mode exactness: every integral a deferred, sharded flush
+// produces must be bit-identical to the synchronous serial path —
+// including routes that revisit a directed link, mid-flow fail/heal
+// episodes, and flows crossing shard boundaries.
+
+// triSpec is a capacitated triangle: small enough to reason about,
+// cyclic enough that a route can revisit a directed link.
+func triSpec() *substrate.TopoSpec {
+	return &substrate.TopoSpec{
+		Name:     "tri",
+		Switches: []string{"a", "b", "c"},
+		Links: []substrate.LinkSpec{
+			{A: "a", B: "b", Bandwidth: 10e6, Delay: time.Millisecond},
+			{A: "b", B: "c", Bandwidth: 5e6, Delay: time.Millisecond},
+			{A: "c", B: "a", Bandwidth: 8e6, Delay: 2 * time.Millisecond},
+		},
+		Hosts: []substrate.HostSpec{{Name: "h1", Switch: "a"}, {Name: "h2", Switch: "c"}},
+		EEs:   []substrate.EESpec{{Name: "ee1", Switch: "b", CPU: 4, Mem: 1 << 20}},
+	}
+}
+
+// driveOps is one scripted op sequence with overload, a duplicate
+// directed link in a route, a fault/heal episode, and interleaved
+// stops. It runs against any Sim and returns every stat in order.
+func driveOps(t *testing.T, s *Sim, deferStops bool) []substrate.FlowStats {
+	t.Helper()
+	start := func(id string, at time.Duration, rate float64, route ...string) {
+		s.AdvanceTo(at)
+		if err := s.StartFlow(substrate.FlowSpec{ID: id, Route: route, Rate: rate}); err != nil {
+			t.Fatalf("start %s: %v", id, err)
+		}
+	}
+	var handles []*substrate.DeferredStats
+	var order []string
+	stop := func(id string, at time.Duration) {
+		s.AdvanceTo(at)
+		if deferStops {
+			h, err := s.StopFlowDeferred(id)
+			if err != nil {
+				t.Fatalf("stop %s: %v", id, err)
+			}
+			handles = append(handles, h)
+			order = append(order, id)
+			return
+		}
+		st, err := s.StopFlow(id)
+		if err != nil {
+			t.Fatalf("stop %s: %v", id, err)
+		}
+		handles = append(handles, &substrate.DeferredStats{Stats: st})
+		order = append(order, id)
+	}
+
+	// f1 revisits directed link a→b twice (a→b→a via the reverse, then
+	// a→b again): per-occurrence stop slots must keep the two visits
+	// apart.
+	start("f1", 0, 3e6, "a", "b", "a", "b", "c")
+	start("f2", 100*time.Millisecond, 4e6, "a", "b", "c") // shares a→b and b→c: overloads b→c
+	start("f3", 200*time.Millisecond, 2e6, "c", "a")
+	s.AdvanceTo(300 * time.Millisecond)
+	if err := s.FailLink("b", "c"); err != nil {
+		t.Fatal(err)
+	}
+	stop("f2", 500*time.Millisecond) // stopped while its path is down
+	s.AdvanceTo(600 * time.Millisecond)
+	if err := s.HealLink("b", "c"); err != nil {
+		t.Fatal(err)
+	}
+	start("f4", 650*time.Millisecond, 6e6, "c", "b") // reverse direction of b→c
+	stop("f1", 900*time.Millisecond)
+	stop("f4", time.Second)
+	stop("f3", 1100*time.Millisecond)
+
+	if deferStops {
+		if err := s.FlushBatch(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := make([]substrate.FlowStats, len(handles))
+	for i, h := range handles {
+		out[i] = h.Stats
+	}
+	_ = order
+	return out
+}
+
+// TestBatchBitIdenticalToSerial runs the scripted sequence serially and
+// in batch mode at several worker counts: stats and the link report
+// must match bit for bit.
+func TestBatchBitIdenticalToSerial(t *testing.T) {
+	newSim := func() *Sim {
+		s, err := New(triSpec(), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	ref := newSim()
+	want := driveOps(t, ref, false)
+	wantRep := ref.Report()
+
+	for _, workers := range []int{1, 2, 8} {
+		s := newSim()
+		s.BeginBatch(workers)
+		got := driveOps(t, s, true)
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("workers=%d stat %d diverges:\nserial: %+v\nbatch:  %+v", workers, i, want[i], got[i])
+			}
+		}
+		if rep := s.Report(); rep != wantRep {
+			t.Fatalf("workers=%d link report diverges: serial %+v batch %+v", workers, rep, wantRep)
+		}
+	}
+}
+
+// TestBatchSyncStopFlushes covers the synchronous StopFlow escape
+// hatch: mid-batch, a plain StopFlow must flush queued ops first and
+// return serial-exact stats.
+func TestBatchSyncStopFlushes(t *testing.T) {
+	ref, err := New(triSpec(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.StartFlow(substrate.FlowSpec{ID: "f", Route: []string{"a", "b", "c"}, Rate: 6e6}); err != nil {
+		t.Fatal(err)
+	}
+	ref.AdvanceTo(time.Second)
+	want, err := ref.StopFlow("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := New(triSpec(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.BeginBatch(4)
+	if err := s.StartFlow(substrate.FlowSpec{ID: "f", Route: []string{"a", "b", "c"}, Rate: 6e6}); err != nil {
+		t.Fatal(err)
+	}
+	s.AdvanceTo(time.Second)
+	got, err := s.StopFlow("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want != got {
+		t.Fatalf("sync stop in batch mode diverges:\nserial: %+v\nbatch:  %+v", want, got)
+	}
+}
+
+// TestShardAssignmentDeterministic pins the partition function: region
+// prefixes group by region, anything else hashes stably — and the
+// assignment never depends on worker count.
+func TestShardAssignmentDeterministic(t *testing.T) {
+	if a, b := shardOf("r3s17", "r3s18"), shardOf("r3s0", "r3s99"); a != b {
+		t.Fatalf("same-region links landed in different shards: %d vs %d", a, b)
+	}
+	if r, ok := regionOf("r12s7"); !ok || r != 12 {
+		t.Fatalf("regionOf(r12s7) = %d,%v want 12,true", r, ok)
+	}
+	for _, bad := range []string{"s12", "r", "rs1", "r12", "rXs1"} {
+		if _, ok := regionOf(bad); ok {
+			t.Fatalf("regionOf(%q) unexpectedly parsed", bad)
+		}
+	}
+	if a, b := shardOf("a", "b"), shardOf("a", "b"); a != b {
+		t.Fatalf("FNV fallback not stable: %d vs %d", a, b)
+	}
+}
+
+// batchBench builds a multi-region sim with many active flows and
+// queued stop work, ready to flush.
+func batchBench(b *testing.B, workers, flows int) *Sim {
+	b.Helper()
+	spec := substrate.ScaleSpec(substrate.ScaleParams{
+		Regions: 8, SwitchesPerRegion: 16,
+		SAPsPerRegion: 2, EEsPerRegion: 2,
+		BackboneBW: 1e9, RegionBW: 1e9, AccessBW: 1e9,
+		EECPU: 64, EEMem: 1 << 20,
+	})
+	s, err := New(spec, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.BeginBatch(workers)
+	for i := 0; i < flows; i++ {
+		r := i % 8
+		route := []string{
+			fmt.Sprintf("r%ds0", r), fmt.Sprintf("r%ds1", r),
+			fmt.Sprintf("r%ds2", r), fmt.Sprintf("r%ds3", r),
+		}
+		if err := s.StartFlow(substrate.FlowSpec{ID: fmt.Sprintf("f%d", i), Route: route, Rate: 1e6}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return s
+}
+
+// BenchmarkShardFlush measures the sharded op replay (phase 1 of
+// FlushBatch) plus reconciliation for a full start+stop cycle.
+func BenchmarkShardFlush(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			s := batchBench(b, workers, 512)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				at := time.Duration(i+1) * time.Millisecond
+				s.AdvanceTo(at)
+				for f := 0; f < 64; f++ {
+					id := fmt.Sprintf("f%d", f)
+					if _, err := s.StopFlowDeferred(id); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := s.FlushBatch(); err != nil {
+					b.Fatal(err)
+				}
+				for f := 0; f < 64; f++ {
+					r := f % 8
+					route := []string{
+						fmt.Sprintf("r%ds0", r), fmt.Sprintf("r%ds1", r),
+						fmt.Sprintf("r%ds2", r), fmt.Sprintf("r%ds3", r),
+					}
+					if err := s.StartFlow(substrate.FlowSpec{ID: fmt.Sprintf("f%d", f), Route: route, Rate: 1e6}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkReconcile isolates phase 2: resolving deferred stop stats
+// from recorded per-hop integral snapshots (route-order summation).
+func BenchmarkReconcile(b *testing.B) {
+	s := batchBench(b, 1, 256)
+	s.AdvanceTo(time.Second)
+	stopped := make([]*simFlow, 0, 256)
+	for i := 0; i < 256; i++ {
+		id := fmt.Sprintf("f%d", i)
+		stopped = append(stopped, s.flows[id])
+		if _, err := s.StopFlowDeferred(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := s.FlushBatch(); err != nil {
+		b.Fatal(err)
+	}
+	var sink substrate.FlowStats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, f := range stopped {
+			sink = f.resolveStats(s.opts)
+		}
+	}
+	_ = sink
+}

@@ -150,3 +150,43 @@ func (b *broadcaster) suppressed(ch chan int) {
 	//lint:ignore sendunderlock receiver is a dedicated drainer, bounded wait
 	ch <- 1
 }
+
+// The worker-pool shape from the sharded flow replay: dispatching jobs
+// to a worker channel while a shard lock is held wedges the whole pool
+// as soon as the channel fills (workers may be blocked on that same
+// shard lock). Collect under the lock, dispatch after unlock.
+type shard struct {
+	mu   sync.Mutex
+	jobs []int
+}
+
+func (s *shard) dispatchUnderLock(work chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, j := range s.jobs {
+		work <- j // want `blocking channel send while holding s.mu`
+	}
+	s.jobs = s.jobs[:0]
+}
+
+// The sanctioned fix: drain the queue under the lock, feed the pool
+// unlocked.
+func (s *shard) dispatchAfterUnlock(work chan int) {
+	s.mu.Lock()
+	jobs := append([]int(nil), s.jobs...)
+	s.jobs = s.jobs[:0]
+	s.mu.Unlock()
+	for _, j := range jobs {
+		work <- j
+	}
+}
+
+// Waiting for worker results while holding the shard lock is the same
+// wedge from the other side.
+func (s *shard) collectUnderLock(results chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := 0; i < 4; i++ {
+		s.jobs = append(s.jobs, <-results) // want `blocking channel receive while holding s.mu`
+	}
+}

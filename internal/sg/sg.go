@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -247,21 +248,48 @@ func (g *Graph) Chains() ([]*Chain, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
-	// Outgoing adjacency.
-	out := map[string][]*Link{}
-	for _, l := range g.Links {
-		out[l.Src.Node] = append(out[l.Src.Node], l)
+	return g.ChainsUnchecked()
+}
+
+// ChainsUnchecked is Chains without the structural re-validation, for
+// callers that have already run Validate on the exact same graph (the
+// orchestrator validates once per admission and then needs the chain
+// list on its hot path). Chain-shape errors — dead ends, cycles — are
+// still detected by the walk itself.
+func (g *Graph) ChainsUnchecked() ([]*Chain, error) {
+	// Outgoing adjacency, links in sorted-id order per node. One flat
+	// sort plus a grouping pass: the per-admission profile showed the
+	// old per-node map-of-slices plus closure-recursive walk dominated
+	// allocation (≈47% of objects on the E14 mid grid).
+	links := linkSortScratch.Get().(*[]*Link)
+	*links = append((*links)[:0], g.Links...)
+	defer linkSortScratch.Put(links)
+	sort.Slice(*links, func(i, j int) bool {
+		if (*links)[i].Src.Node != (*links)[j].Src.Node {
+			return (*links)[i].Src.Node < (*links)[j].Src.Node
+		}
+		return (*links)[i].ID < (*links)[j].ID
+	})
+	out := make(map[string][]*Link, len(g.SAPs)+len(g.NFs))
+	for lo := 0; lo < len(*links); {
+		hi := lo + 1
+		for hi < len(*links) && (*links)[hi].Src.Node == (*links)[lo].Src.Node {
+			hi++
+		}
+		out[(*links)[lo].Src.Node] = (*links)[lo:hi:hi]
+		lo = hi
 	}
-	for _, ls := range out {
-		sort.Slice(ls, func(i, j int) bool { return ls[i].ID < ls[j].ID })
-	}
+
 	var chains []*Chain
-	var walk func(node string, nodes []string, links []*Link, visited map[string]bool) error
-	walk = func(node string, nodes []string, links []*Link, visited map[string]bool) error {
+	nodes := make([]string, 0, len(g.NFs)+2)
+	path := make([]*Link, 0, len(g.NFs)+1)
+	visited := make(map[string]bool, len(g.Links))
+	var walk func(node string) error
+	walk = func(node string) error {
 		if g.IsSAP(node) && len(nodes) > 1 {
 			chains = append(chains, &Chain{
 				Nodes: append([]string(nil), nodes...),
-				Links: append([]*Link(nil), links...),
+				Links: append([]*Link(nil), path...),
 			})
 			return nil
 		}
@@ -274,20 +302,34 @@ func (g *Graph) Chains() ([]*Chain, error) {
 				return fmt.Errorf("sg: cycle through link %q", l.ID)
 			}
 			visited[l.ID] = true
-			if err := walk(l.Dst.Node, append(nodes, l.Dst.Node), append(links, l), visited); err != nil {
+			nodes = append(nodes, l.Dst.Node)
+			path = append(path, l)
+			if err := walk(l.Dst.Node); err != nil {
 				return err
 			}
+			nodes = nodes[:len(nodes)-1]
+			path = path[:len(path)-1]
 			delete(visited, l.ID)
 		}
 		return nil
 	}
 	for _, s := range g.SAPs {
-		if err := walk(s.ID, []string{s.ID}, nil, map[string]bool{}); err != nil {
+		nodes = append(nodes[:0], s.ID)
+		path = path[:0]
+		for k := range visited {
+			delete(visited, k)
+		}
+		if err := walk(s.ID); err != nil {
 			return nil, err
 		}
 	}
 	return chains, nil
 }
+
+// linkSortScratch pools the link-sorting scratch slice Chains uses: the
+// walk runs once per admission, so the buffer churns exactly at the
+// admission rate.
+var linkSortScratch = sync.Pool{New: func() any { s := make([]*Link, 0, 16); return &s }}
 
 // MarshalJSON round trip helpers: ToJSON serializes with indentation.
 func (g *Graph) ToJSON() ([]byte, error) {

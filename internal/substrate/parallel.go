@@ -1,0 +1,577 @@
+// The parallel scenario player: speculative mapping and heal planning
+// on a worker pool, merged by a single committer in trace order, with a
+// flip-detection proof obligation that makes the result bit-identical
+// to the serial player for any worker count.
+//
+// Why this is exact. Within one window between fault/repair barriers,
+// the serial player's decision for event i is a deterministic function
+// of the committed view state at event i, and the mapper consumes that
+// state only through threshold predicates — "does EE e fit one more
+// NF", "does link l carry one more demand", and the commit validation
+// checks. Demands are uniform per run (PlayOptions.NFCPU/NFMem/LinkBW;
+// chainGraph sets them explicitly on every NF and SG link), so every
+// predicate the mapper, heal planner or commit validator can evaluate
+// has the form free ≥ k·unit or used + k·unit > cap for small k. The
+// committer — the only goroutine that publishes view changes — mirrors
+// every commit and release into a shadow account and bumps a flip
+// counter whenever any touched resource crosses any of those
+// thresholds (k = 0..K, K sized for the deepest stacking one admission
+// or heal can cause). A speculative job records the flip counter at
+// enqueue; if it is unchanged at merge time, every predicate was
+// constant across the job's whole speculation window, so the
+// speculative result provably equals what the serial player would have
+// computed at the merge point — commit it. Otherwise discard it and
+// replay that one event through the exact serial path on the live
+// view. Either way each event's outcome is the serial outcome, and the
+// flip counter itself evolves as a pure function of trace order, so
+// the report is deterministic and worker-count-independent.
+//
+// Barriers: lookahead never crosses a FaultLink/RepairLink event, so
+// the pool is quiesced (zero in-flight jobs) whenever exclusion masks
+// change — speculation windows never span a mask transition.
+//
+// The one channel this argument does not cover is the path cache:
+// discarded speculative attempts may materialize cache candidates that
+// a later window (after a mask transition) could observe at a
+// different materialization depth than a serial run would. Candidate
+// lookup is first-feasible over a deterministic candidate sequence, so
+// divergence needs a stale-mask candidate surviving a transition —
+// never observed in practice; E14's parallel_match bit re-proves
+// bit-identity empirically on every row of every run.
+package substrate
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"sync"
+
+	"escape/internal/core"
+	"escape/internal/sg"
+)
+
+// Equal reports whether two play reports are bit-identical — the
+// parallel_match criterion E14 asserts between serial and parallel
+// runs of one trace.
+func (r *PlayReport) Equal(o *PlayReport) bool {
+	return reflect.DeepEqual(r, o)
+}
+
+type pkind uint8
+
+const (
+	jobMap  pkind = iota // speculative chainGraph + mapper.Map
+	jobHeal              // speculative rv.PlanHeal
+)
+
+// pjob is one unit of speculative work: filled in by a worker, merged
+// by the committer.
+type pjob struct {
+	id     int // unique: event index for arrivals, len(events)+healSeq for heals
+	kind   pkind
+	flipAt uint64 // flip counter at enqueue; unchanged at merge ⇒ result is serial-exact
+
+	// jobMap
+	ev *ScenarioEvent
+	g  *sg.Graph
+	m  *core.Mapping
+
+	// jobHeal
+	target   *core.Mapping
+	linkDown func(a, b string) bool
+	plan     *core.HealPlan
+
+	err error
+}
+
+func noEEDown(string) bool { return false }
+
+// parallelPlayer is the committer's state for one run.
+type parallelPlayer struct {
+	sub    Substrate
+	rv     *core.ResourceView
+	mapper core.Mapper
+	events []ScenarioEvent
+	opts   PlayOptions
+
+	ft *flipTracker
+
+	jobs     chan *pjob
+	done     chan *pjob
+	pending  map[int]*pjob
+	inflight int
+	window   int
+	la       int // lookahead: next event index eligible for speculation
+	healSeq  int
+
+	rep        *PlayReport
+	active     map[string]*core.Mapping
+	activeRate map[string]float64
+	downLinks  map[[2]string]bool
+	sc         *playScratch
+
+	batcher FlowBatcher
+	stops   []*DeferredStats // per-departure stat handles, in trace order
+}
+
+// playParallel plays the trace with opts.Workers speculative workers.
+func playParallel(sub Substrate, rv *core.ResourceView, mapper core.Mapper, events []ScenarioEvent, opts PlayOptions) (*PlayReport, error) {
+	p := &parallelPlayer{
+		sub: sub, rv: rv, mapper: mapper, events: events, opts: opts,
+		ft:      newFlipTracker(rv, opts, maxChainLen(events)),
+		window:  opts.Workers * 4,
+		pending: map[int]*pjob{},
+		rep:     &PlayReport{Decisions: map[string]*Decision{}},
+		active:  map[string]*core.Mapping{}, activeRate: map[string]float64{},
+		downLinks: map[[2]string]bool{},
+		sc:        &playScratch{},
+	}
+	p.jobs = make(chan *pjob, p.window)
+	p.done = make(chan *pjob, p.window)
+	if b, ok := sub.(FlowBatcher); ok && opts.Traffic {
+		p.batcher = b
+		b.BeginBatch(opts.Workers)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go p.worker(&wg)
+	}
+	err := p.run()
+	close(p.jobs)
+	wg.Wait()
+	if err != nil {
+		return nil, err
+	}
+	if p.batcher != nil {
+		if err := p.batcher.FlushBatch(); err != nil {
+			return nil, err
+		}
+	}
+	// Fold traffic stats in departure (trace) order — the serial
+	// player's exact accumulation order, on bit-identical per-flow
+	// stats.
+	for _, h := range p.stops {
+		p.rep.OfferedBits += h.Stats.OfferedBits
+		p.rep.DeliveredBits += h.Stats.DeliveredBits
+	}
+	return p.rep, nil
+}
+
+// worker speculates jobs lock-free against pinned view epochs. Both
+// paths (mapper.Map, rv.PlanHeal) are the lock-free halves of the
+// optimistic admission protocol and never publish view state.
+func (p *parallelPlayer) worker(wg *sync.WaitGroup) {
+	defer wg.Done()
+	sc := &playScratch{}
+	for j := range p.jobs {
+		switch j.kind {
+		case jobMap:
+			j.g = chainGraphWith(j.ev, p.opts, sc)
+			j.m, j.err = p.mapper.Map(j.g, p.rv)
+		case jobHeal:
+			j.plan, j.err = p.rv.PlanHeal(j.target, noEEDown, j.linkDown)
+		}
+		p.done <- j
+	}
+}
+
+// fillEvents enqueues speculative map jobs for upcoming arrivals, up to
+// the in-flight window, stopping at the next fault/repair barrier.
+func (p *parallelPlayer) fillEvents() {
+	for p.inflight < p.window && p.la < len(p.events) {
+		ev := &p.events[p.la]
+		switch ev.Kind {
+		case Arrive:
+			j := &pjob{id: p.la, kind: jobMap, ev: ev, flipAt: p.ft.flips}
+			p.jobs <- j
+			p.inflight++
+			p.la++
+		case Depart:
+			p.la++ // nothing to precompute
+		default:
+			return // barrier: quiesce before masks change
+		}
+	}
+}
+
+// waitJob drains completed jobs until the one with the given id
+// arrives, refilling the pipeline after every receive so the pool
+// never idles while the committer waits.
+func (p *parallelPlayer) waitJob(id int, refill func()) *pjob {
+	for {
+		if j, ok := p.pending[id]; ok {
+			delete(p.pending, id)
+			return j
+		}
+		j := <-p.done
+		p.inflight--
+		p.pending[j.id] = j
+		if refill != nil {
+			refill()
+		}
+	}
+}
+
+// run is the committer loop: events processed strictly in trace order.
+func (p *parallelPlayer) run() error {
+	for i := range p.events {
+		ev := &p.events[i]
+		p.fillEvents()
+		p.sub.AdvanceTo(ev.At)
+		switch ev.Kind {
+		case Arrive:
+			j := p.waitJob(i, p.fillEvents)
+			var m *core.Mapping
+			if p.ft.flips == j.flipAt {
+				// No predicate the speculation could have read changed
+				// between enqueue and now: the job's outcome IS the
+				// serial outcome.
+				if j.err != nil {
+					p.rep.Rejected++
+					continue
+				}
+				ok, err := p.rv.TryCommitMapping(j.m)
+				if err != nil {
+					p.rep.Rejected++ // commit-gate rejection, as in serial
+					continue
+				}
+				if ok {
+					m = j.m
+				}
+			}
+			if m == nil {
+				// Stale speculation: replay this one event through the
+				// exact serial path on the live view.
+				mm, err := p.rv.AdmitAndCommit(p.mapper, j.g)
+				if err != nil {
+					p.rep.Rejected++
+					continue
+				}
+				m = mm
+			}
+			p.ft.applyMapping(m, +1)
+			p.rep.Admitted++
+			p.active[ev.Service] = m
+			p.activeRate[ev.Service] = ev.Rate
+			p.rep.Decisions[ev.Service] = &Decision{
+				Service:    ev.Service,
+				Placements: copyMap(m.Placements),
+				Routes:     copyRoutes(m.Routes),
+			}
+			if len(p.active) > p.rep.PeakActive {
+				p.rep.PeakActive = len(p.active)
+			}
+			if p.opts.Traffic {
+				if err := p.sub.StartFlow(FlowSpec{
+					ID: ev.Service, SrcSAP: ev.SrcSAP, DstSAP: ev.DstSAP,
+					Route: flowRouteWith(m, p.sc), Rate: ev.Rate,
+				}); err != nil {
+					return fmt.Errorf("substrate: starting flow %s: %w", ev.Service, err)
+				}
+			}
+		case Depart:
+			m := p.active[ev.Service]
+			if m == nil {
+				continue // arrival was rejected
+			}
+			if p.opts.Traffic {
+				h, err := p.stopFlow(ev.Service)
+				if err != nil {
+					return err
+				}
+				p.stops = append(p.stops, h)
+			}
+			p.rv.Release(m)
+			p.ft.applyMapping(m, -1)
+			delete(p.active, ev.Service)
+			delete(p.activeRate, ev.Service)
+			p.rep.Departed++
+		case FaultLink:
+			// Lookahead stopped here, all prior jobs merged: the pool is
+			// quiet, masks may change.
+			if err := p.sub.FailLink(ev.A, ev.B); err != nil {
+				return err
+			}
+			p.rv.ExcludeLink(ev.A, ev.B)
+			p.downLinks[linkKeyOf(ev.A, ev.B)] = true
+			if p.opts.HealOnFault {
+				if err := p.healParallel(); err != nil {
+					return err
+				}
+			}
+			if p.la <= i {
+				p.la = i + 1
+			}
+		case RepairLink:
+			if err := p.sub.HealLink(ev.A, ev.B); err != nil {
+				return err
+			}
+			p.rv.UnexcludeLink(ev.A, ev.B)
+			delete(p.downLinks, linkKeyOf(ev.A, ev.B))
+			if p.la <= i {
+				p.la = i + 1
+			}
+		}
+	}
+	return nil
+}
+
+// stopFlow ends a flow, deferring the stat resolution to the batcher
+// when the substrate supports it.
+func (p *parallelPlayer) stopFlow(id string) (*DeferredStats, error) {
+	if p.batcher != nil {
+		return p.batcher.StopFlowDeferred(id)
+	}
+	st, err := p.sub.StopFlow(id)
+	if err != nil {
+		return nil, err
+	}
+	return &DeferredStats{Stats: st}, nil
+}
+
+// healParallel is the parallel counterpart of healAffected: heal plans
+// for all affected services speculate concurrently, then merge in
+// sorted service order with the same flip check as admissions.
+func (p *parallelPlayer) healParallel() error {
+	linkDown := func(a, b string) bool { return p.downLinks[linkKeyOf(a, b)] }
+	names := p.sc.names[:0]
+	for name := range p.active {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	p.sc.names = names
+	work := make([]string, 0, len(names))
+	for _, name := range names {
+		if routesCross(p.active[name], linkDown) {
+			work = append(work, name)
+		}
+	}
+	if len(work) == 0 {
+		return nil
+	}
+	ids := make([]int, len(work))
+	wi := 0
+	fill := func() {
+		for p.inflight < p.window && wi < len(work) {
+			j := &pjob{
+				id: len(p.events) + p.healSeq, kind: jobHeal,
+				target: p.active[work[wi]], linkDown: linkDown,
+				flipAt: p.ft.flips,
+			}
+			p.healSeq++
+			ids[wi] = j.id
+			p.jobs <- j
+			p.inflight++
+			wi++
+		}
+	}
+	for k := range work {
+		fill()
+		j := p.waitJob(ids[k], fill)
+		name := work[k]
+		m := p.active[name]
+		var plan *core.HealPlan
+		if p.ft.flips == j.flipAt {
+			if j.err != nil {
+				continue // serial planHeal would fail identically: keep broken route
+			}
+			if j.plan.Empty() {
+				continue
+			}
+			if p.rv.TryCommitHealPlan(m, j.plan) {
+				plan = j.plan
+			}
+		}
+		if plan == nil {
+			// Stale speculation (an earlier heal this pass crossed a
+			// threshold): replan serially on the live view.
+			pl, err := p.rv.AdmitHeal(m, noEEDown, j.linkDown)
+			if err != nil {
+				continue
+			}
+			if pl.Empty() {
+				continue
+			}
+			plan = pl
+		}
+		p.ft.applyHeal(plan)
+		healed := m.WithPlan(plan)
+		p.active[name] = healed
+		recordHeal(p.rep, name, plan)
+		if p.opts.Traffic {
+			if err := resteerFlow(p.sub, name, healed, p.activeRate[name], p.sc); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// maxChainLen scans the trace for the longest requested chain (sizes
+// the flip threshold family).
+func maxChainLen(events []ScenarioEvent) int {
+	max := 0
+	for i := range events {
+		if events[i].ChainLen > max {
+			max = events[i].ChainLen
+		}
+	}
+	return max
+}
+
+// flipTracker is the committer's shadow account of the view's committed
+// state, watching the predicate thresholds the mapper and heal planner
+// can observe. flips increments whenever any touched resource crosses
+// any threshold k·unit (k = 0..kMax) in either predicate family —
+// feasibility (free ≥ k·unit) or commit validation (used + k·unit >
+// cap, with the validator's float tolerance). Exactness rests on the
+// run's uniform demands: every committed quantity is an integer
+// multiple of the unit, so predicate discontinuities sit exactly on
+// the tracked thresholds.
+type flipTracker struct {
+	rv      *core.ResourceView
+	cpuUnit float64
+	memUnit int
+	bwUnit  float64
+	kMax    int
+	flips   uint64
+
+	cpuUsed map[string]float64
+	memUsed map[string]int
+	bwUsed  map[[2]string]float64
+	bwCap   map[[2]string]float64 // capacitated physical links only
+}
+
+// newFlipTracker seeds the shadow from the view's current committed
+// state (normally zero: E14 plays each trace on a fresh view).
+func newFlipTracker(rv *core.ResourceView, opts PlayOptions, maxChain int) *flipTracker {
+	// K covers the deepest threshold any single admission or heal can
+	// probe: up to chainLen NFs stacked on one EE, chainLen+1 SG links
+	// routed over one physical link, and a heal crediting as many back
+	// before re-taking them.
+	k := 3*maxChain + 4
+	if k < 8 {
+		k = 8
+	}
+	if k > 63 {
+		k = 63 // signature masks are uint64
+	}
+	ft := &flipTracker{
+		rv: rv, cpuUnit: opts.NFCPU, memUnit: opts.NFMem, bwUnit: opts.LinkBW,
+		kMax:    k,
+		cpuUsed: map[string]float64{}, memUsed: map[string]int{},
+		bwUsed: map[[2]string]float64{}, bwCap: map[[2]string]float64{},
+	}
+	for name := range rv.EEs {
+		cpu, mem := rv.Committed(name)
+		ft.cpuUsed[name] = cpu
+		ft.memUsed[name] = mem
+	}
+	for _, l := range rv.Links {
+		if l.Bandwidth > 0 {
+			key := linkKeyOf(l.A, l.B)
+			ft.bwCap[key] = l.Bandwidth
+			ft.bwUsed[key] = rv.CommittedBW(l.A, l.B)
+		}
+	}
+	return ft
+}
+
+// sigFloat is the threshold signature of one float resource: bit k of
+// fits is free ≥ k·unit, bit k of valid is used + k·unit > cap + 1e-9
+// (the commit validator's tolerance).
+func sigFloat(used, cap, unit float64, kMax int) (fits, valid uint64) {
+	for k := 0; k <= kMax; k++ {
+		d := float64(k) * unit
+		if cap-used >= d {
+			fits |= 1 << uint(k)
+		}
+		if used+d > cap+1e-9 {
+			valid |= 1 << uint(k)
+		}
+	}
+	return
+}
+
+// sigMem is the integer (memory) signature; validation has no
+// tolerance, mirroring tryCommit.
+func sigMem(used, cap, unit, kMax int) (fits, valid uint64) {
+	for k := 0; k <= kMax; k++ {
+		d := k * unit
+		if cap-used >= d {
+			fits |= 1 << uint(k)
+		}
+		if used+d > cap {
+			valid |= 1 << uint(k)
+		}
+	}
+	return
+}
+
+// addCompute applies one NF's compute delta to an EE's shadow and
+// flips if any CPU or memory threshold changed sides.
+func (ft *flipTracker) addCompute(ee string, dcpu float64, dmem int) {
+	res := ft.rv.EEs[ee]
+	if res == nil {
+		return
+	}
+	oc, om := ft.cpuUsed[ee], ft.memUsed[ee]
+	nc, nm := oc+dcpu, om+dmem
+	ofc, ovc := sigFloat(oc, res.CPU, ft.cpuUnit, ft.kMax)
+	nfc, nvc := sigFloat(nc, res.CPU, ft.cpuUnit, ft.kMax)
+	ofm, ovm := sigMem(om, res.Mem, ft.memUnit, ft.kMax)
+	nfm, nvm := sigMem(nm, res.Mem, ft.memUnit, ft.kMax)
+	if ofc != nfc || ovc != nvc || ofm != nfm || ovm != nvm {
+		ft.flips++
+	}
+	ft.cpuUsed[ee], ft.memUsed[ee] = nc, nm
+}
+
+// addBW applies one route hop's bandwidth delta. Uncapacitated links
+// never appear in any predicate and are not tracked.
+func (ft *flipTracker) addBW(key [2]string, d float64) {
+	cap, ok := ft.bwCap[key]
+	if !ok {
+		return
+	}
+	o := ft.bwUsed[key]
+	n := o + d
+	of, ov := sigFloat(o, cap, ft.bwUnit, ft.kMax)
+	nf, nv := sigFloat(n, cap, ft.bwUnit, ft.kMax)
+	if of != nf || ov != nv {
+		ft.flips++
+	}
+	ft.bwUsed[key] = n
+}
+
+// applyMapping mirrors core's applyMapping into the shadow (sign +1
+// commit, -1 release). Demands are the run's uniform units by
+// construction (chainGraph sets them explicitly on every NF and link).
+func (ft *flipTracker) applyMapping(m *core.Mapping, sign float64) {
+	for _, ee := range m.Placements {
+		ft.addCompute(ee, sign*ft.cpuUnit, int(sign)*ft.memUnit)
+	}
+	for _, route := range m.Routes {
+		for i := 0; i+1 < len(route); i++ {
+			ft.addBW(linkKeyOf(route[i], route[i+1]), sign*ft.bwUnit)
+		}
+	}
+}
+
+// applyHeal mirrors tryCommitHeal's published deltas into the shadow.
+func (ft *flipTracker) applyHeal(plan *core.HealPlan) {
+	for nfID, newEE := range plan.Moved {
+		ft.addCompute(plan.OldEE[nfID], -ft.cpuUnit, -ft.memUnit)
+		ft.addCompute(newEE, ft.cpuUnit, ft.memUnit)
+	}
+	for linkID, newRoute := range plan.Routes {
+		old := plan.OldRoutes[linkID]
+		for i := 0; i+1 < len(old); i++ {
+			ft.addBW(linkKeyOf(old[i], old[i+1]), -ft.bwUnit)
+		}
+		for i := 0; i+1 < len(newRoute); i++ {
+			ft.addBW(linkKeyOf(newRoute[i], newRoute[i+1]), ft.bwUnit)
+		}
+	}
+}

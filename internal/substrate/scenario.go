@@ -284,6 +284,15 @@ type PlayOptions struct {
 	// core.AdmitHeal when a FaultLink event fires — the Healer decision
 	// path, driven identically on every substrate.
 	HealOnFault bool
+	// Workers > 1 plays the trace through the parallel pipeline:
+	// admission mapping and heal planning speculate concurrently on a
+	// worker pool while one committer merges results in trace order,
+	// falling back to the exact serial path whenever concurrent commits
+	// could have changed a decision (see playParallel). Reports are
+	// bit-identical to Workers<=1 for any worker count. Requires a
+	// parallel-safe mapper (the default KSP mapper is; RandomMapper is
+	// not). 0 or 1 = the classic single-threaded player.
+	Workers int
 }
 
 // PlayReport aggregates one scenario run. All fields derive from
@@ -320,6 +329,16 @@ func (r *PlayReport) DeliveredPct() float64 {
 // pure function of (spec, trace, mapper) — the property the conformance
 // suite asserts across substrates.
 func PlayScenario(sub Substrate, rv *core.ResourceView, mapper core.Mapper, events []ScenarioEvent, opts PlayOptions) (*PlayReport, error) {
+	normalizePlayOptions(&opts)
+	if opts.Workers > 1 {
+		return playParallel(sub, rv, mapper, events, opts)
+	}
+	return playSerial(sub, rv, mapper, events, opts)
+}
+
+// normalizePlayOptions applies the option defaults once, so the serial
+// and parallel players see identical demands.
+func normalizePlayOptions(opts *PlayOptions) {
 	if opts.NFCPU <= 0 {
 		opts.NFCPU = 0.125
 	}
@@ -329,17 +348,31 @@ func PlayScenario(sub Substrate, rv *core.ResourceView, mapper core.Mapper, even
 	if opts.LinkBW <= 0 {
 		opts.LinkBW = 1e6
 	}
+}
+
+// playScratch holds per-player (or per-worker) reusable buffers for the
+// event hot path, so steady-state playback allocates only what it must
+// retain (mappings, decisions, flow state).
+type playScratch struct {
+	types []string // chainGraph NF type list
+	ids   []string // FlowRoute sort buffer
+	names []string // healAffected work list
+}
+
+// playSerial is the classic single-threaded player.
+func playSerial(sub Substrate, rv *core.ResourceView, mapper core.Mapper, events []ScenarioEvent, opts PlayOptions) (*PlayReport, error) {
 	rep := &PlayReport{Decisions: map[string]*Decision{}}
 	active := map[string]*core.Mapping{}
 	activeRate := map[string]float64{}
 	downLinks := map[[2]string]bool{}
+	sc := &playScratch{}
 
 	for i := range events {
 		ev := &events[i]
 		sub.AdvanceTo(ev.At)
 		switch ev.Kind {
 		case Arrive:
-			g := chainGraph(ev, opts)
+			g := chainGraphWith(ev, opts, sc)
 			m, err := rv.AdmitAndCommit(mapper, g)
 			if err != nil {
 				rep.Rejected++
@@ -359,7 +392,7 @@ func PlayScenario(sub Substrate, rv *core.ResourceView, mapper core.Mapper, even
 			if opts.Traffic {
 				if err := sub.StartFlow(FlowSpec{
 					ID: ev.Service, SrcSAP: ev.SrcSAP, DstSAP: ev.DstSAP,
-					Route: FlowRoute(m), Rate: ev.Rate,
+					Route: flowRouteWith(m, sc), Rate: ev.Rate,
 				}); err != nil {
 					return nil, fmt.Errorf("substrate: starting flow %s: %w", ev.Service, err)
 				}
@@ -388,7 +421,7 @@ func PlayScenario(sub Substrate, rv *core.ResourceView, mapper core.Mapper, even
 			rv.ExcludeLink(ev.A, ev.B)
 			downLinks[linkKeyOf(ev.A, ev.B)] = true
 			if opts.HealOnFault {
-				if err := healAffected(sub, rv, active, activeRate, downLinks, rep, opts); err != nil {
+				if err := healAffected(sub, rv, active, activeRate, downLinks, rep, opts, sc); err != nil {
 					return nil, err
 				}
 			}
@@ -405,14 +438,19 @@ func PlayScenario(sub Substrate, rv *core.ResourceView, mapper core.Mapper, even
 
 // healAffected re-steers every active service whose route crosses a down
 // link, in sorted service order (determinism), through the same
-// AdmitHeal path the resilience healer uses.
-func healAffected(sub Substrate, rv *core.ResourceView, active map[string]*core.Mapping, activeRate map[string]float64, downLinks map[[2]string]bool, rep *PlayReport, opts PlayOptions) error {
+// AdmitHeal path the resilience healer uses. On success the active set
+// is updated to the healed mapping — the heal commit released the old
+// placements and committed the new ones, so the departure-time Release
+// (and the re-steered flow route) must follow the healed mapping, not
+// the broken one.
+func healAffected(sub Substrate, rv *core.ResourceView, active map[string]*core.Mapping, activeRate map[string]float64, downLinks map[[2]string]bool, rep *PlayReport, opts PlayOptions, sc *playScratch) error {
 	linkDown := func(a, b string) bool { return downLinks[linkKeyOf(a, b)] }
-	names := make([]string, 0, len(active))
+	names := sc.names[:0]
 	for name := range active {
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	sc.names = names
 	for _, name := range names {
 		m := active[name]
 		if !routesCross(m, linkDown) {
@@ -425,42 +463,59 @@ func healAffected(sub Substrate, rv *core.ResourceView, active map[string]*core.
 		if plan.Empty() {
 			continue
 		}
-		d := rep.Decisions[name]
-		if d.HealMoves == nil {
-			d.HealMoves = map[string]string{}
-			d.HealRoutes = map[string][]string{}
-		}
-		for nf, ee := range plan.Moved {
-			d.HealMoves[nf] = ee
-			rep.HealMoves++
-		}
-		for id, route := range plan.Routes {
-			d.HealRoutes[id] = append([]string(nil), route...)
-			rep.Rerouted++
-		}
+		healed := m.WithPlan(plan)
+		active[name] = healed
+		recordHeal(rep, name, plan)
 		if opts.Traffic {
-			// Re-steer the substrate flow onto the healed route.
-			if _, err := sub.StopFlow(name); err == nil {
-				src, dst := flowEndpoints(m)
-				if err := sub.StartFlow(FlowSpec{
-					ID: name, SrcSAP: src, DstSAP: dst,
-					Route: FlowRoute(m), Rate: activeRate[name],
-				}); err != nil {
-					return err
-				}
+			if err := resteerFlow(sub, name, healed, activeRate[name], sc); err != nil {
+				return err
 			}
 		}
 	}
 	return nil
 }
 
-// chainGraph builds the service graph for one arrival: a linear chain of
-// monitor NFs between the event's SAP pair with explicit demands.
-func chainGraph(ev *ScenarioEvent, opts PlayOptions) *sg.Graph {
-	types := make([]string, ev.ChainLen)
-	for i := range types {
-		types[i] = "monitor"
+// recordHeal accumulates one committed heal plan into the report.
+func recordHeal(rep *PlayReport, name string, plan *core.HealPlan) {
+	d := rep.Decisions[name]
+	if d.HealMoves == nil {
+		d.HealMoves = map[string]string{}
+		d.HealRoutes = map[string][]string{}
 	}
+	for nf, ee := range plan.Moved {
+		d.HealMoves[nf] = ee
+		rep.HealMoves++
+	}
+	for id, route := range plan.Routes {
+		d.HealRoutes[id] = append([]string(nil), route...)
+		rep.Rerouted++
+	}
+}
+
+// resteerFlow moves a service's substrate flow onto its healed route.
+// The old flow's stats are discarded: re-steering is a route change, not
+// a departure.
+func resteerFlow(sub Substrate, name string, healed *core.Mapping, rate float64, sc *playScratch) error {
+	if _, err := sub.StopFlow(name); err != nil {
+		return nil // no flow to move (e.g. started before Traffic toggled)
+	}
+	src, dst := flowEndpoints(healed)
+	return sub.StartFlow(FlowSpec{
+		ID: name, SrcSAP: src, DstSAP: dst,
+		Route: flowRouteWith(healed, sc), Rate: rate,
+	})
+}
+
+// chainGraphWith builds the service graph for one arrival: a linear
+// chain of monitor NFs between the event's SAP pair with explicit
+// demands. The scratch's type buffer is reused across events
+// (NewChainGraph does not retain it).
+func chainGraphWith(ev *ScenarioEvent, opts PlayOptions, sc *playScratch) *sg.Graph {
+	types := sc.types[:0]
+	for i := 0; i < ev.ChainLen; i++ {
+		types = append(types, "monitor")
+	}
+	sc.types = types
 	g := sg.NewChainGraph(ev.Service, types...)
 	for _, nf := range g.NFs {
 		nf.CPU = opts.NFCPU
@@ -479,11 +534,19 @@ func chainGraph(ev *ScenarioEvent, opts PlayOptions) *sg.Graph {
 // FlowRoute flattens a mapping's per-SG-link routes into one switch path
 // in chain-link order, compressing duplicate junction switches.
 func FlowRoute(m *core.Mapping) []string {
-	ids := make([]string, 0, len(m.Routes))
+	return flowRouteWith(m, &playScratch{})
+}
+
+// flowRouteWith is FlowRoute with a reusable sort buffer. The returned
+// route is freshly allocated (substrates retain it in the flow spec);
+// only the id scratch is recycled.
+func flowRouteWith(m *core.Mapping, sc *playScratch) []string {
+	ids := sc.ids[:0]
 	for id := range m.Routes {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
+	sc.ids = ids
 	var out []string
 	for _, id := range ids {
 		for _, sw := range m.Routes[id] {
